@@ -1,0 +1,448 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// figure or section experiment maps to one driver in internal/exp; the
+// results are written as CSV files (one per figure) into -out and
+// summarized on stdout.
+//
+// Examples:
+//
+//	experiments -fig 6                 # Figure 6 at quick scale
+//	experiments -fig 6,9,10 -paper     # paper-scale sample budgets
+//	experiments -exp surrogate         # §VII-D surrogate accuracy
+//	experiments -all -models ResNet-50 # everything, one model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"spotlight/internal/core"
+	"spotlight/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figs      = flag.String("fig", "", "comma-separated figure numbers to regenerate (6,7,8,9,10,11)")
+		exps      = flag.String("exp", "", "comma-separated section experiments (surrogate, discussion, timeloop, topdesigns, simcheck, kernels)")
+		all       = flag.Bool("all", false, "run every figure and experiment")
+		paper     = flag.Bool("paper", false, "use paper-scale sample budgets (100/100, 10 trials)")
+		hwSamples = flag.Int("hw", 0, "override hardware samples")
+		swSamples = flag.Int("sw", 0, "override software samples")
+		trials    = flag.Int("trials", 0, "override trial count")
+		seed      = flag.Int64("seed", 1, "random seed")
+		models    = flag.String("models", "", "comma-separated models (default: all five)")
+		objective = flag.String("objective", "delay", "objective for Figure 6/10/11: delay or edp")
+		outDir    = flag.String("out", "results", "directory for CSV output")
+		parallel  = flag.Bool("parallel", false, "run independent trials concurrently")
+	)
+	flag.Parse()
+
+	cfg := exp.Default()
+	if *paper {
+		cfg = exp.Paper()
+	}
+	cfg.Seed = *seed
+	if *hwSamples > 0 {
+		cfg.HWSamples = *hwSamples
+	}
+	if *swSamples > 0 {
+		cfg.SWSamples = *swSamples
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	cfg.Parallel = *parallel
+	if *models != "" {
+		for _, m := range strings.Split(*models, ",") {
+			cfg.Models = append(cfg.Models, strings.TrimSpace(m))
+		}
+	}
+	switch *objective {
+	case "delay":
+		cfg.Objective = core.MinDelay
+	case "edp":
+		cfg.Objective = core.MinEDP
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want["fig"+f] = true
+		}
+	}
+	for _, e := range strings.Split(*exps, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			want[e] = true
+		}
+	}
+	if *all {
+		for _, k := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+			"surrogate", "discussion", "timeloop", "topdesigns", "simcheck", "kernels"} {
+			want[k] = true
+		}
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("nothing to do: pass -fig, -exp, or -all")
+	}
+
+	runner := &runner{cfg: cfg, outDir: *outDir}
+	steps := []struct {
+		key string
+		fn  func() error
+	}{
+		{"fig6", runner.fig6},
+		{"fig7", runner.fig7},
+		{"fig8", runner.fig8},
+		{"fig9", runner.fig9},
+		{"fig10", runner.runFig10},
+		{"fig11", runner.runFig11},
+		{"surrogate", runner.surrogate},
+		{"discussion", runner.discussion},
+		{"timeloop", runner.timeloop},
+		{"topdesigns", runner.topDesigns},
+		{"simcheck", runner.simCheck},
+		{"kernels", runner.kernels},
+	}
+	for _, s := range steps {
+		if !want[s.key] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("== %s ==\n", s.key)
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.key, err)
+		}
+		fmt.Printf("   done in %.1fs\n", time.Since(start).Seconds())
+	}
+	return nil
+}
+
+type runner struct {
+	cfg    exp.Config
+	outDir string
+	fig10  map[string][]exp.Curve // cached for fig11
+}
+
+func (r *runner) writeCSV(name string, write func(f *os.File) error) error {
+	path := filepath.Join(r.outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("   wrote %s\n", path)
+	return nil
+}
+
+func (r *runner) fig6() error {
+	rows, err := exp.Fig6(r.cfg)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	return r.writeCSV("fig6.csv", func(f *os.File) error { return exp.WriteRows(f, rows) })
+}
+
+func (r *runner) fig7() error {
+	res, err := exp.Fig7(r.cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(" EDP:")
+	printRows(res.EDP)
+	fmt.Println(" delay:")
+	printRows(res.Delay)
+	if err := r.writeCSV("fig7_edp.csv", func(f *os.File) error { return exp.WriteRows(f, res.EDP) }); err != nil {
+		return err
+	}
+	return r.writeCSV("fig7_delay.csv", func(f *os.File) error { return exp.WriteRows(f, res.Delay) })
+}
+
+func (r *runner) fig8() error {
+	res, err := exp.Fig8(r.cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(" EDP:")
+	printRows(res.EDP)
+	fmt.Println(" delay:")
+	printRows(res.Delay)
+	if err := r.writeCSV("fig8_edp.csv", func(f *os.File) error { return exp.WriteRows(f, res.EDP) }); err != nil {
+		return err
+	}
+	return r.writeCSV("fig8_delay.csv", func(f *os.File) error { return exp.WriteRows(f, res.Delay) })
+}
+
+func (r *runner) fig9() error {
+	res, err := exp.Fig9(r.cfg)
+	if err != nil {
+		return err
+	}
+	header := append([]string{"model"}, res.Features...)
+	var rows [][]string
+	for model, imp := range res.Importance {
+		row := []string{model}
+		for _, v := range imp {
+			row = append(row, strconv.FormatFloat(v, 'g', 4, 64))
+		}
+		rows = append(rows, row)
+		fmt.Printf("   %-12s top feature: %s\n", model, topFeature(res.Features, imp))
+	}
+	return r.writeCSV("fig9.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
+}
+
+// runFig10 runs Figure 10 and caches the curves so Figure 11 can reuse
+// the same runs, as in the paper.
+func (r *runner) runFig10() error {
+	{
+		curves, err := exp.Fig10(r.cfg)
+		if err != nil {
+			return err
+		}
+		r.fig10 = curves
+		for model, cs := range curves {
+			for _, stat := range exp.EfficiencyStats(cs) {
+				fmt.Printf("   %-12s %-13s %4d samples, %.0f%% feasible, %.1f%% beat random's best\n",
+					model, stat.Tool, stat.Samples, 100*stat.FeasibleFraction, 100*stat.BeatsRandomBest)
+			}
+		}
+		header := []string{"model", "tool", "trial", "sample", "elapsed_s", "value", "best_so_far"}
+		var rows [][]string
+		for model, cs := range curves {
+			for _, c := range cs {
+				sum := c.FinalSummary()
+				fmt.Printf("   %-12s %-13s final best: min=%.4g median=%.4g max=%.4g\n",
+					model, c.Tool, sum.Min, sum.Median, sum.Max)
+				for t, trial := range c.Trials {
+					for _, h := range trial {
+						rows = append(rows, []string{
+							model, c.Tool, strconv.Itoa(t), strconv.Itoa(h.Sample),
+							strconv.FormatFloat(h.Elapsed.Seconds(), 'g', 6, 64),
+							formatValue(h.Value),
+							formatValue(h.BestSoFar),
+						})
+					}
+				}
+			}
+		}
+		return r.writeCSV("fig10.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
+	}
+}
+
+// runFig11 emits Figure 11 from cached Figure 10 curves, running Figure
+// 10 first if it was not requested.
+func (r *runner) runFig11() error {
+	{
+		if r.fig10 == nil {
+			curves, err := exp.Fig10(r.cfg)
+			if err != nil {
+				return err
+			}
+			r.fig10 = curves
+		}
+		cdfs := exp.Fig11(r.fig10)
+		header := []string{"model", "tool", "trial", "percentile", "value"}
+		var rows [][]string
+		for model, series := range cdfs {
+			for _, s := range series {
+				for t, cdf := range s.Trials {
+					if cdf.Len() == 0 {
+						continue
+					}
+					for p := 5; p <= 100; p += 5 {
+						rows = append(rows, []string{
+							model, s.Tool, strconv.Itoa(t), strconv.Itoa(p),
+							strconv.FormatFloat(cdf.InverseAt(float64(p)/100), 'g', 6, 64),
+						})
+					}
+				}
+			}
+		}
+		return r.writeCSV("fig11.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
+	}
+}
+
+func (r *runner) surrogate() error {
+	res, err := exp.SurrogateAccuracy(r.cfg, 2000)
+	if err != nil {
+		return err
+	}
+	header := []string{"kernel", "spearman_edp", "spearman_delay", "top_quintile", "train", "test"}
+	var rows [][]string
+	for _, s := range res {
+		fmt.Printf("   %-9s ρ(EDP)=%.4f ρ(delay)=%.4f top-20%%=%.1f%%\n",
+			s.Kernel, s.SpearmanEDP, s.SpearmanDel, 100*s.TopQuintile)
+		rows = append(rows, []string{
+			s.Kernel,
+			strconv.FormatFloat(s.SpearmanEDP, 'g', 4, 64),
+			strconv.FormatFloat(s.SpearmanDel, 'g', 4, 64),
+			strconv.FormatFloat(s.TopQuintile, 'g', 4, 64),
+			strconv.Itoa(s.TrainSize), strconv.Itoa(s.TestSize),
+		})
+	}
+	return r.writeCSV("surrogate.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
+}
+
+func (r *runner) discussion() error {
+	model := "ResNet-50"
+	if len(r.cfg.Models) > 0 {
+		model = r.cfg.Models[0]
+	}
+	rows, err := exp.Discussion(r.cfg, model)
+	if err != nil {
+		return err
+	}
+	header := []string{"config", "throughput_per_nJ", "rel_to_spotlight", "rf_input_reuse", "l2_input_reuse", "array"}
+	var out [][]string
+	for _, d := range rows {
+		fmt.Printf("   %-14s tput/J=%.4g (Spotlight is %.2gx)  reuse RF=%.3g L2=%.3g  array=%dx%d\n",
+			d.Config, d.ThroughputPerJ, d.RelThroughputPerJ, d.RFInputReuse, d.L2InputReuse,
+			d.ArrayHeight, d.ArrayWidth)
+		out = append(out, []string{
+			d.Config,
+			strconv.FormatFloat(d.ThroughputPerJ, 'g', 6, 64),
+			strconv.FormatFloat(d.RelThroughputPerJ, 'g', 4, 64),
+			strconv.FormatFloat(d.RFInputReuse, 'g', 4, 64),
+			strconv.FormatFloat(d.L2InputReuse, 'g', 4, 64),
+			fmt.Sprintf("%dx%d", d.ArrayHeight, d.ArrayWidth),
+		})
+	}
+	return r.writeCSV("discussion.csv", func(f *os.File) error { return exp.WriteTable(f, header, out) })
+}
+
+func (r *runner) timeloop() error {
+	names := r.cfg.Models
+	if len(names) == 0 {
+		names = []string{"VGG16", "ResNet-50", "MobileNetV2", "MnasNet", "Transformer"}
+	}
+	header := []string{"model", "layers", "top20_overlap", "bottom20_overlap", "spearman"}
+	var rows [][]string
+	for _, name := range names {
+		res, err := exp.CrossModelAgreement(r.cfg, name, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   %-12s layers=%d top-20%%=%.1f%% bottom-20%%=%.1f%% ρ=%.3f\n",
+			res.Model, res.Layers, 100*res.MeanTopOverlap, 100*res.MeanBotOverlap, res.MeanSpearman)
+		rows = append(rows, []string{
+			res.Model, strconv.Itoa(res.Layers),
+			strconv.FormatFloat(res.MeanTopOverlap, 'g', 4, 64),
+			strconv.FormatFloat(res.MeanBotOverlap, 'g', 4, 64),
+			strconv.FormatFloat(res.MeanSpearman, 'g', 4, 64),
+		})
+	}
+	return r.writeCSV("timeloop.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
+}
+
+func (r *runner) topDesigns() error {
+	model := "ResNet-50"
+	if len(r.cfg.Models) > 0 {
+		model = r.cfg.Models[0]
+	}
+	res, err := exp.TopDesignCrossCheck(r.cfg, model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %s: %d top designs, rank agreement ρ=%.3f, second model's favorite is primary rank #%d\n",
+		res.Model, len(res.Entries), res.Spearman, res.BestRank)
+	header := []string{"rank", "primary", "secondary", "accel"}
+	var rows [][]string
+	for _, e := range res.Entries {
+		rows = append(rows, []string{
+			strconv.Itoa(e.Rank),
+			strconv.FormatFloat(e.Primary, 'g', 6, 64),
+			strconv.FormatFloat(e.Secondary, 'g', 6, 64),
+			e.Accel,
+		})
+	}
+	return r.writeCSV("topdesigns.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
+}
+
+func (r *runner) simCheck() error {
+	res, err := exp.SimCheck(r.cfg, 60)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d/%d schedules match the analytical model exactly; LRU caching saves %.1f%% median DRAM traffic\n",
+		res.ExactMatches, res.Schedules, 100*res.CacheSavings.Median)
+	header := []string{"schedules", "exact_matches", "saving_min", "saving_median", "saving_max"}
+	rows := [][]string{{
+		strconv.Itoa(res.Schedules), strconv.Itoa(res.ExactMatches),
+		strconv.FormatFloat(res.CacheSavings.Min, 'g', 4, 64),
+		strconv.FormatFloat(res.CacheSavings.Median, 'g', 4, 64),
+		strconv.FormatFloat(res.CacheSavings.Max, 'g', 4, 64),
+	}}
+	return r.writeCSV("simcheck.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
+}
+
+func (r *runner) kernels() error {
+	model := "ResNet-50"
+	if len(r.cfg.Models) > 0 {
+		model = r.cfg.Models[0]
+	}
+	res, err := exp.KernelSearchComparison(r.cfg, model)
+	if err != nil {
+		return err
+	}
+	header := []string{"kernel", "min", "median", "max"}
+	var rows [][]string
+	for _, k := range res {
+		fmt.Printf("   %-9s best %s: median=%.4g [%.4g, %.4g]\n",
+			k.Kernel, r.cfg.Objective, k.Summary.Median, k.Summary.Min, k.Summary.Max)
+		rows = append(rows, []string{
+			k.Kernel,
+			strconv.FormatFloat(k.Summary.Min, 'g', 6, 64),
+			strconv.FormatFloat(k.Summary.Median, 'g', 6, 64),
+			strconv.FormatFloat(k.Summary.Max, 'g', 6, 64),
+		})
+	}
+	return r.writeCSV("kernels.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
+}
+
+func printRows(rows []exp.Row) {
+	for _, r := range rows {
+		fmt.Printf("   %-12s %-18s median=%.4g [%.4g, %.4g]  %.3gx Spotlight\n",
+			r.Model, r.Config, r.Median, r.Min, r.Max, r.Normalized)
+	}
+}
+
+func topFeature(names []string, imp []float64) string {
+	best := 0
+	for i, v := range imp {
+		if v > imp[best] {
+			best = i
+		}
+	}
+	if best < len(names) {
+		return names[best]
+	}
+	return "?"
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

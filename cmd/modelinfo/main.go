@@ -1,0 +1,66 @@
+// Command modelinfo prints the CONV-space layer tables of the evaluation
+// models: shapes, repeat counts, MAC counts, and the size of each layer's
+// software design space.
+//
+// Usage:
+//
+//	modelinfo            # all five models, summary only
+//	modelinfo -layers    # include per-layer tables
+//	modelinfo -models VGG16,Transformer -layers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+func main() {
+	var (
+		modelsFlag = flag.String("models", "", "comma-separated model names (default: all)")
+		layers     = flag.Bool("layers", false, "print per-layer tables")
+		extended   = flag.Bool("extended", false, "include the extended zoo (AlexNet, ResNet-18, BERT-base)")
+	)
+	flag.Parse()
+
+	var models []workload.Model
+	if *modelsFlag == "" {
+		models = workload.Models()
+		if *extended {
+			models = append(models, workload.ExtendedModels()...)
+		}
+	} else {
+		for _, name := range strings.Split(*modelsFlag, ",") {
+			m, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "modelinfo:", err)
+				os.Exit(1)
+			}
+			models = append(models, m)
+		}
+	}
+
+	for _, m := range models {
+		var unique, total int
+		for _, l := range m.Layers {
+			unique++
+			total += l.Repeat
+		}
+		fmt.Printf("%-12s %3d unique layers (%3d with repeats)  %6.2f GMACs\n",
+			m.Name, unique, total, float64(m.TotalMACs())/1e9)
+		if !*layers {
+			continue
+		}
+		fmt.Printf("  %-12s %-6s %5s %5s %5s %3s %3s %5s %5s %3s %3s %12s %10s\n",
+			"layer", "op", "N", "K", "C", "R", "S", "X", "Y", "str", "rep", "MACs", "sw space")
+		for _, l := range m.Layers {
+			fmt.Printf("  %-12s %-6s %5d %5d %5d %3d %3d %5d %5d %3d %3d %12d %10.2g\n",
+				l.Name, l.Op, l.N, l.K, l.C, l.R, l.S, l.X, l.Y, l.StrideX, l.Repeat,
+				l.MACs(), sched.SpaceSize(l))
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Command spotlight is the co-design tool: given one or more DL models
+// and a hardware budget, it searches the joint hardware/software space
+// and emits the optimized accelerator configuration and per-layer
+// software schedules, plus an optional CSV convergence history.
+//
+// Examples:
+//
+//	spotlight -models ResNet-50 -objective delay
+//	spotlight -models VGG16,ResNet-50 -scale cloud -objective edp -hw 100 -sw 100
+//	spotlight -models Transformer -strategy spotlight-f -history hist.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spotlight/internal/core"
+	"spotlight/internal/exp"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/search"
+	"spotlight/internal/sim"
+	"spotlight/internal/timeloop"
+	"spotlight/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spotlight:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelsFlag = flag.String("models", "ResNet-50", "comma-separated DL models to co-design for")
+		scale      = flag.String("scale", "edge", "hardware scale: edge or cloud")
+		objective  = flag.String("objective", "delay", "objective to minimize: delay or edp")
+		hwSamples  = flag.Int("hw", 100, "hardware samples")
+		swSamples  = flag.Int("sw", 100, "software samples per layer per hardware sample")
+		seed       = flag.Int64("seed", 1, "random seed")
+		strategy   = flag.String("strategy", "spotlight", "search strategy: spotlight, spotlight-v, spotlight-a, spotlight-f, random, ga, confuciux, hasco")
+		backend    = flag.String("backend", "maestro", "cost model backend: maestro, timeloop, or sim (hybrid trace-driven)")
+		historyCSV = flag.String("history", "", "write the per-sample convergence history to this CSV file")
+		jsonOut    = flag.String("json", "", "write the winning design (accelerator + schedules) to this JSON file")
+		verbose    = flag.Bool("v", false, "print per-layer schedules")
+		frontier   = flag.Bool("frontier", false, "print the pareto frontier and the budget-closest selection")
+		reevaluate = flag.String("reevaluate", "", "skip the search: load a design JSON (from -json) and re-cost it on -backend")
+	)
+	flag.Parse()
+
+	var models []workload.Model
+	for _, name := range strings.Split(*modelsFlag, ",") {
+		m, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+	}
+
+	var space hw.Space
+	var budget hw.Budget
+	switch *scale {
+	case "edge":
+		space, budget = hw.EdgeSpace(), hw.EdgeBudget()
+	case "cloud":
+		space, budget = hw.CloudSpace(), hw.CloudBudget()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	var obj core.Objective
+	switch *objective {
+	case "delay":
+		obj = core.MinDelay
+	case "edp":
+		obj = core.MinEDP
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+
+	var eval core.Evaluator
+	switch *backend {
+	case "maestro":
+		eval = maestro.New()
+	case "timeloop":
+		eval = timeloop.New()
+	case "sim":
+		eval = sim.NewBackend(sim.Options{})
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
+	}
+
+	if *reevaluate != "" {
+		return reevaluateDesign(*reevaluate, eval, obj, models)
+	}
+
+	strat, err := strategyByName(*strategy)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.RunConfig{
+		Models:    models,
+		Space:     space,
+		Budget:    budget,
+		Objective: obj,
+		HWSamples: *hwSamples,
+		SWSamples: *swSamples,
+		Seed:      *seed,
+		Eval:      eval,
+	}
+	res, err := core.Run(cfg, strat)
+	if err != nil {
+		return err
+	}
+	report(res, obj, *verbose)
+	if *frontier {
+		reportFrontier(res, budget)
+	}
+
+	if *historyCSV != "" {
+		if err := writeHistory(*historyCSV, res); err != nil {
+			return err
+		}
+		fmt.Printf("history written to %s\n", *historyCSV)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := core.WriteJSON(f, core.Export(res.Tool, obj, res.Best)); err != nil {
+			return err
+		}
+		fmt.Printf("design written to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+func strategyByName(name string) (core.Strategy, error) {
+	switch name {
+	case "spotlight":
+		return core.NewSpotlight(), nil
+	case "spotlight-v":
+		return core.NewSpotlightV(), nil
+	case "spotlight-a":
+		return core.NewSpotlightA(), nil
+	case "spotlight-f":
+		return core.NewSpotlightF(), nil
+	case "random":
+		return search.NewRandom(), nil
+	case "ga":
+		return search.NewGenetic(), nil
+	case "confuciux":
+		return search.NewConfuciuX(), nil
+	case "hasco":
+		return search.NewHASCO(), nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
+func report(res core.Result, obj core.Objective, verbose bool) {
+	fmt.Printf("tool:      %s\n", res.Tool)
+	fmt.Printf("objective: %s = %.6g\n", obj, res.Best.Objective)
+	fmt.Printf("accel:     %s\n", res.Best.Accel)
+	fmt.Printf("area:      %.2f mm²   peak power: %.1f mW\n",
+		res.Best.Accel.AreaMM2(), res.Best.Accel.PeakPowerMW())
+	for model, v := range core.ModelObjectives(obj, res.Best) {
+		fmt.Printf("  %-14s %s = %.6g\n", model, obj, v)
+	}
+	if !verbose {
+		return
+	}
+	fmt.Println("schedules:")
+	for _, lr := range res.Best.Layers {
+		fmt.Printf("  %-10s %-16s delay=%.4g cycles  energy=%.4g nJ  util=%.2f\n",
+			lr.Model, lr.Layer.Name, lr.Cost.DelayCycles, lr.Cost.EnergyNJ, lr.Cost.Utilization)
+		fmt.Printf("             %s\n", lr.Schedule)
+	}
+}
+
+// reevaluateDesign loads a previously exported design and re-costs its
+// schedules on the selected backend, printing per-layer and aggregate
+// results — the §VII-F workflow of carrying a design to another
+// evaluation medium.
+func reevaluateDesign(path string, eval core.Evaluator, obj core.Objective, models []workload.Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	e, err := core.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	accel := hw.Accel{
+		PEs: e.Accel.PEs, Width: e.Accel.Width, SIMDLanes: e.Accel.SIMDLanes,
+		RFKB: e.Accel.RFKB, L2KB: e.Accel.L2KB, NoCBW: e.Accel.NoCBW,
+	}
+	layersByName := map[string]workload.Layer{}
+	for _, m := range models {
+		for _, l := range m.Layers {
+			layersByName[m.Name+"/"+l.Name] = l
+		}
+	}
+	fmt.Printf("re-evaluating %s design on backend %q\n", e.Tool, eval.Name())
+	var energy, delay float64
+	infeasible := 0
+	for _, le := range e.Layers {
+		layer, ok := layersByName[le.Model+"/"+le.Layer]
+		if !ok {
+			return fmt.Errorf("layer %s/%s not found in -models; pass the same models the design was built for", le.Model, le.Layer)
+		}
+		s, err := core.ScheduleFromExport(le)
+		if err != nil {
+			return err
+		}
+		c, err := eval.Evaluate(accel, s, layer)
+		if err != nil {
+			infeasible++
+			fmt.Printf("  %-16s infeasible on this backend (%v)\n", le.Layer, err)
+			continue
+		}
+		rep := float64(layer.Repeat)
+		energy += rep * c.EnergyNJ
+		delay += rep * c.DelayCycles
+		fmt.Printf("  %-16s delay=%.4g (was %.4g)  energy=%.4g nJ\n",
+			le.Layer, c.DelayCycles, le.DelayCycles, c.EnergyNJ)
+	}
+	if infeasible > 0 {
+		fmt.Printf("%d layers infeasible on this backend — re-tune with -strategy spotlight -backend %s\n",
+			infeasible, eval.Name())
+		return nil
+	}
+	fmt.Printf("aggregate %s = %.6g (was %.6g on %s)\n",
+		obj, core.AggregateObjective(obj, energy, delay), e.Value, e.Tool)
+	return nil
+}
+
+// reportFrontier prints the (objective, area, power) pareto set and the
+// §VI-B selection: the frontier design closest to the budget without
+// exceeding it.
+func reportFrontier(res core.Result, budget hw.Budget) {
+	fmt.Printf("pareto frontier (%d designs):\n", len(res.Frontier))
+	var fr core.ParetoFrontier
+	for _, d := range res.Frontier {
+		fr.Add(d)
+		fmt.Printf("  obj=%-12.5g area=%6.2f mm²  power=%7.1f mW  %s\n",
+			d.Objective, d.Accel.AreaMM2(), d.Accel.PeakPowerMW(), d.Accel)
+	}
+	if pick, ok := fr.SelectWithinBudget(budget); ok {
+		fmt.Printf("budget-closest selection: obj=%.5g %s\n", pick.Objective, pick.Accel)
+	}
+}
+
+func writeHistory(path string, res core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows := make([][]string, 0, len(res.History))
+	for _, h := range res.History {
+		rows = append(rows, []string{
+			strconv.Itoa(h.Sample),
+			strconv.FormatFloat(h.Elapsed.Seconds(), 'g', 6, 64),
+			strconv.FormatFloat(h.Value, 'g', 6, 64),
+			strconv.FormatFloat(h.BestSoFar, 'g', 6, 64),
+		})
+	}
+	return exp.WriteTable(f, []string{"sample", "elapsed_s", "value", "best_so_far"}, rows)
+}

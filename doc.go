@@ -1,0 +1,27 @@
+// Package spotlight is a from-scratch Go reproduction of "Leveraging
+// Domain Information for the Efficient Automated Design of Deep Learning
+// Accelerators" (Sakhuja, Shi, Lin — HPCA 2023): the daBO domain-aware
+// Bayesian optimization framework, the Spotlight HW/SW co-design tool
+// built on it, the analytical cost models it evaluates against, and the
+// full evaluation harness for the paper's figures.
+//
+// The root package holds only module documentation and the benchmark
+// harness (bench_test.go), which has one benchmark per table/figure of
+// the paper. The implementation lives under internal/:
+//
+//	internal/core      daBO + Spotlight (the paper's contribution)
+//	internal/maestro   primary analytical cost model (MAESTRO's role)
+//	internal/timeloop  independent second model (Timeloop's role, §VII-F)
+//	internal/hw        accelerator microarchitecture, spaces, baselines
+//	internal/sched     software schedules, dataflows, constraints
+//	internal/workload  CONV-space layers and the five-model zoo
+//	internal/search    random / GA / ConfuciuX-like / HASCO-like baselines
+//	internal/gp        Gaussian process surrogate
+//	internal/exp       per-figure experiment drivers
+//	internal/stats     Spearman, CDFs, quantiles, overlap metrics
+//	internal/linalg    dense matrices and Cholesky solves
+//
+// Executables: cmd/spotlight (the tool), cmd/experiments (figure
+// regeneration), cmd/modelinfo (layer tables). Runnable examples live in
+// examples/. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package spotlight

@@ -1,0 +1,69 @@
+// Custom model: build your own workload out of CONV, GEMM, depth-wise
+// and fully connected layers, co-design an accelerator for it, and
+// cross-check the winning design on the second analytical model — the
+// §VII-F methodology applied to a user workload.
+//
+//	go run ./examples/custom-model
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/timeloop"
+	"spotlight/internal/workload"
+)
+
+func main() {
+	// A small keyword-spotting style network: conv frontend, depth-wise
+	// block, attention-ish GEMM, classifier.
+	model := workload.Model{
+		Name: "kws-net",
+		Layers: []workload.Layer{
+			workload.Conv("stem", 1, 32, 1, 3, 3, 66, 42).Strided(2),
+			workload.FromDepthwise("dw1", 32, 3, 3, 34, 22, 1),
+			workload.Conv("pw1", 1, 64, 32, 1, 1, 32, 20),
+			workload.FromGEMM("attn", 64, 64, 160).Times(2),
+			workload.FromFC("classifier", 640, 12),
+		},
+	}
+	if err := model.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s: %.1f MMACs across %d layers\n",
+		model.Name, float64(model.TotalMACs())/1e6, len(model.Layers))
+
+	cfg := core.RunConfig{
+		Models:    []workload.Model{model},
+		Space:     hw.EdgeSpace(),
+		Budget:    hw.EdgeBudget(),
+		Objective: core.MinEDP,
+		HWSamples: 30,
+		SWSamples: 30,
+		Seed:      11,
+		Eval:      maestro.New(),
+	}
+	res, err := core.Run(cfg, core.NewSpotlight())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best EDP:   %.4g nJ·cycles on %s\n", res.Best.Objective, res.Best.Accel)
+
+	// Cross-check the winning design on the independent second model
+	// (§VII-F: guard against overfitting the primary analytical model).
+	second := timeloop.New()
+	fmt.Println("\ncross-check against the second analytical model:")
+	for _, lr := range res.Best.Layers {
+		alt, err := second.Evaluate(res.Best.Accel, lr.Schedule, lr.Layer)
+		if err != nil {
+			fmt.Printf("  %-12s second model rejects the schedule (%v)\n", lr.Layer.Name, err)
+			continue
+		}
+		ratio := alt.DelayCycles / lr.Cost.DelayCycles
+		fmt.Printf("  %-12s primary=%.4g cycles  second=%.4g cycles  (%.2fx)\n",
+			lr.Layer.Name, lr.Cost.DelayCycles, alt.DelayCycles, ratio)
+	}
+}

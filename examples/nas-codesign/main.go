@@ -1,0 +1,55 @@
+// NAS co-design: the §VIII future-work direction — jointly searching
+// the neural model, the accelerator, and the software schedules. An
+// outer daBO proposes MobileNet-style architectures; each one is
+// co-designed by the full nested Spotlight flow; the search minimizes
+// the accelerator's EDP subject to a model-quality floor (quality comes
+// from a synthetic capacity proxy — see internal/nas for the caveat).
+//
+//	go run ./examples/nas-codesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/nas"
+)
+
+func main() {
+	cfg := nas.SearchConfig{
+		CoDesign: core.RunConfig{
+			Space:     hw.EdgeSpace(),
+			Budget:    hw.EdgeBudget(),
+			Objective: core.MinEDP,
+			HWSamples: 8, // each architecture costs a full co-design run
+			SWSamples: 12,
+			Eval:      maestro.New(),
+		},
+		QualityFloor: 0.6,
+		ArchSamples:  10,
+		Seed:         1,
+	}
+
+	fmt.Println("joint model + hardware + schedule search...")
+	res, err := nas.Search(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nevaluated %d architectures (%d below the quality floor):\n",
+		len(res.Evaluated), res.Rejected)
+	for _, c := range res.Evaluated {
+		marker := " "
+		if c.Arch == res.Best.Arch {
+			marker = "*"
+		}
+		fmt.Printf("%s %-18s quality=%.3f  EDP=%.4g  accel=%s\n",
+			marker, c.Arch, c.Quality, c.Objective, c.Design.Accel)
+	}
+	fmt.Printf("\nwinner: %s — quality %.3f at EDP %.4g\n",
+		res.Best.Arch, res.Best.Quality, res.Best.Objective)
+	fmt.Println("(bigger models raise quality but cost EDP; the search settles at the crossover)")
+}

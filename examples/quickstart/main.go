@@ -1,0 +1,58 @@
+// Quickstart: co-design a small edge accelerator for a single
+// convolutional layer and print the optimized hardware and schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/workload"
+)
+
+func main() {
+	// A single mid-network convolution: 64→128 channels, 3×3 filters,
+	// on a 30×30 (padded) input.
+	layer := workload.Conv("demo_conv", 1, 128, 64, 3, 3, 30, 30)
+	model := workload.Model{Name: "demo", Layers: []workload.Layer{layer}}
+
+	cfg := core.RunConfig{
+		Models:    []workload.Model{model},
+		Space:     hw.EdgeSpace(),  // Figure 3 parameter ranges
+		Budget:    hw.EdgeBudget(), // area/power envelope
+		Objective: core.MinEDP,     // minimize energy-delay product
+		HWSamples: 30,              // the paper uses 100
+		SWSamples: 30,              // the paper uses 100 per layer
+		Seed:      42,
+		Eval:      maestro.New(),
+	}
+
+	res, err := core.Run(cfg, core.NewSpotlight())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Spotlight quickstart ==")
+	fmt.Printf("layer:       %s (%.1f MMACs, software space ~%.1e points)\n",
+		layer, float64(layer.MACs())/1e6, 2.6e13)
+	fmt.Printf("best EDP:    %.4g nJ·cycles\n", res.Best.Objective)
+	fmt.Printf("accelerator: %s\n", res.Best.Accel)
+	fmt.Printf("area/power:  %.2f mm², %.1f mW peak\n",
+		res.Best.Accel.AreaMM2(), res.Best.Accel.PeakPowerMW())
+
+	lr := res.Best.Layers[0]
+	fmt.Printf("schedule:    %s\n", lr.Schedule)
+	fmt.Printf("cost:        %.4g cycles, %.4g nJ, %.0f%% PE utilization\n",
+		lr.Cost.DelayCycles, lr.Cost.EnergyNJ, 100*lr.Cost.Utilization)
+
+	fmt.Println("\nconvergence (best EDP so far):")
+	for _, h := range res.History {
+		if h.Sample%5 == 0 || h.Sample == 1 {
+			fmt.Printf("  sample %2d: %.4g\n", h.Sample, h.BestSoFar)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// ErrNoFeasible is returned by Run when a search exhausts its hardware
+// budget without a single feasible design — a real outcome for
+// restricted tools on hostile spaces (the paper notes Hypermapper often
+// failed to terminate at all).
+var ErrNoFeasible = errors.New("core: no feasible design found")
+
+// RunConfig describes one co-design run: the workloads, the hardware
+// space and budget, the objective, the sample budget (the paper's default
+// is 100 hardware samples and 100 software samples per layer), and the
+// cost-model backend.
+type RunConfig struct {
+	Models       []workload.Model
+	Space        hw.Space
+	Budget       hw.Budget
+	Objective    Objective
+	HWSamples    int
+	SWSamples    int
+	SWConstraint sched.Constraint // software space; zero value means Free
+	Seed         int64
+	Eval         Evaluator
+}
+
+// normalized fills defaults and validates.
+func (c RunConfig) normalized() (RunConfig, error) {
+	if len(c.Models) == 0 {
+		return c, errors.New("core: no models to co-design for")
+	}
+	for _, m := range c.Models {
+		if err := m.Validate(); err != nil {
+			return c, err
+		}
+	}
+	if c.Eval == nil {
+		return c, errors.New("core: no evaluator configured")
+	}
+	if c.HWSamples <= 0 {
+		c.HWSamples = 100
+	}
+	if c.SWSamples <= 0 {
+		c.SWSamples = 100
+	}
+	if c.SWConstraint.Name == "" {
+		c.SWConstraint = sched.Free()
+	}
+	if c.Space.PEMax == 0 {
+		c.Space = hw.EdgeSpace()
+	}
+	if c.Budget.AreaMM2 == 0 {
+		c.Budget = hw.EdgeBudget()
+	}
+	return c, nil
+}
+
+// LayerResult is the optimized schedule and cost for one layer.
+type LayerResult struct {
+	Model    string
+	Layer    workload.Layer
+	Schedule sched.Schedule
+	Cost     maestro.Cost
+	Valid    bool
+}
+
+// Design is one complete co-designed solution.
+type Design struct {
+	Accel     hw.Accel
+	Layers    []LayerResult
+	Objective float64 // aggregate objective across all models
+}
+
+// HistoryPoint records one hardware sample of a search, feeding the
+// convergence curves of Figure 10 and the sample CDFs of Figure 11.
+type HistoryPoint struct {
+	Sample    int           // 1-based hardware sample index
+	Elapsed   time.Duration // wall clock since the search started
+	Value     float64       // this sample's aggregate objective (+Inf if invalid)
+	BestSoFar float64       // best aggregate objective up to this sample
+}
+
+// Result is the outcome of a co-design run. Best is the minimum-
+// objective feasible design; Frontier is the (objective, area, power)
+// pareto set, from which §VI-B's budget-closest selection can be made
+// with ParetoFrontier.SelectWithinBudget; Top holds the best 20 distinct
+// designs for §VII-F-style cross-medium validation.
+type Result struct {
+	Tool     string
+	Config   RunConfig
+	Best     Design
+	Frontier []Design
+	Top      []Design
+	History  []HistoryPoint
+}
+
+// topKDesigns is how many distinct designs a run retains for
+// cross-medium validation (§VII-F recommends re-evaluating the top ~20).
+const topKDesigns = 20
+
+// HWProposer proposes hardware configurations and learns from aggregate
+// feedback. err is nil for valid designs; an error wrapping
+// maestro.ErrInvalid marks infeasible ones.
+type HWProposer interface {
+	Suggest() hw.Accel
+	Observe(a hw.Accel, objective float64, err error)
+}
+
+// SWProposer proposes software schedules for one (accelerator, layer)
+// pair and learns from per-sample feedback.
+type SWProposer interface {
+	Suggest() sched.Schedule
+	Observe(s sched.Schedule, objective float64, err error)
+}
+
+// Strategy builds the hardware and software searchers for a co-design
+// run. Spotlight, its ablation variants, and the prior-work tools are all
+// Strategies over the same nested driver, so Figure 10's comparison is
+// apples-to-apples.
+type Strategy interface {
+	Name() string
+	NewHW(cfg RunConfig, rng *rand.Rand) HWProposer
+	NewSW(cfg RunConfig, rng *rand.Rand, a hw.Accel, l workload.Layer) SWProposer
+	// SWBudget returns how many software samples this strategy spends
+	// per layer given the configured budget; restricted tools like
+	// ConfuciuX evaluate only their few fixed schedules.
+	SWBudget(cfg RunConfig) int
+}
+
+// modelLayer pairs a layer with its parent model for aggregation.
+type modelLayer struct {
+	model string
+	layer workload.Layer
+}
+
+// Run performs the nested layerwise co-design of §VI-A with the given
+// strategy: for each hardware sample, every layer's schedule is optimized
+// independently by a fresh software searcher; per-model energies and
+// delays are aggregated into the objective, which feeds back into the
+// hardware searcher.
+func Run(cfg RunConfig, strat Strategy) (Result, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s: %w", strat.Name(), err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hwSearch := strat.NewHW(cfg, rng)
+	layers := collectLayers(cfg.Models)
+	swBudget := strat.SWBudget(cfg)
+
+	res := Result{Tool: strat.Name(), Config: cfg}
+	res.Best.Objective = math.Inf(1)
+	var frontier ParetoFrontier
+	top := TopDesigns{K: topKDesigns}
+	start := time.Now()
+
+	for t := 1; t <= cfg.HWSamples; t++ {
+		accel := hwSearch.Suggest()
+		design, derr := evaluateHardware(cfg, strat, rng, accel, layers, swBudget)
+		hwSearch.Observe(accel, design.Objective, derr)
+
+		value := design.Objective
+		if derr != nil {
+			value = math.Inf(1)
+		} else {
+			frontier.Add(design)
+			top.Add(design)
+		}
+		if value < res.Best.Objective {
+			res.Best = design
+		}
+		res.History = append(res.History, HistoryPoint{
+			Sample:    t,
+			Elapsed:   time.Since(start),
+			Value:     value,
+			BestSoFar: res.Best.Objective,
+		})
+	}
+	res.Frontier = frontier.Designs()
+	res.Top = top.Designs()
+	if math.IsInf(res.Best.Objective, 1) {
+		return res, fmt.Errorf("%w: %s tried %d hardware samples",
+			ErrNoFeasible, strat.Name(), cfg.HWSamples)
+	}
+	return res, nil
+}
+
+// evaluateHardware runs the per-layer software optimization for one
+// hardware sample and aggregates the objective. It returns an error
+// wrapping maestro.ErrInvalid when the hardware is out of budget,
+// structurally invalid, or has a layer with no feasible schedule.
+func evaluateHardware(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Accel,
+	layers []modelLayer, swBudget int) (Design, error) {
+
+	design := Design{Accel: accel, Objective: math.Inf(1)}
+	if err := accel.Validate(); err != nil {
+		return design, fmt.Errorf("%w: %v", maestro.ErrInvalid, err)
+	}
+	if err := cfg.Budget.Check(accel); err != nil {
+		return design, fmt.Errorf("%w: %v", maestro.ErrInvalid, err)
+	}
+
+	perModelEnergy := map[string]float64{}
+	perModelDelay := map[string]float64{}
+	for _, ml := range layers {
+		lr := OptimizeLayer(cfg, strat, rng, accel, ml.layer, swBudget)
+		lr.Model = ml.model
+		design.Layers = append(design.Layers, lr)
+		if !lr.Valid {
+			return design, fmt.Errorf("%w: layer %s has no feasible schedule on %s",
+				maestro.ErrInvalid, ml.layer.Name, accel)
+		}
+		rep := float64(ml.layer.Repeat)
+		perModelEnergy[ml.model] += rep * lr.Cost.EnergyNJ
+		perModelDelay[ml.model] += rep * lr.Cost.DelayCycles
+	}
+	var total float64
+	for m := range perModelEnergy {
+		total += AggregateObjective(cfg.Objective, perModelEnergy[m], perModelDelay[m])
+	}
+	design.Objective = total
+	return design, nil
+}
+
+// OptimizeLayer searches the software space for one layer on fixed
+// hardware, spending `budget` cost-model evaluations, and returns the
+// best schedule found. Valid is false when every sample was infeasible.
+func OptimizeLayer(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Accel,
+	layer workload.Layer, budget int) LayerResult {
+
+	sw := strat.NewSW(cfg, rng, accel, layer)
+	best := LayerResult{Layer: layer}
+	bestObj := math.Inf(1)
+	for i := 0; i < budget; i++ {
+		s := sw.Suggest()
+		cost, err := cfg.Eval.Evaluate(accel, s, layer)
+		if err != nil {
+			sw.Observe(s, math.Inf(1), err)
+			continue
+		}
+		obj := cfg.Objective.LayerCost(cost)
+		sw.Observe(s, obj, nil)
+		if obj < bestObj {
+			bestObj = obj
+			best.Schedule = s
+			best.Cost = cost
+			best.Valid = true
+		}
+	}
+	return best
+}
+
+// OptimizeSoftware runs only the software half of the co-design on a
+// fixed accelerator: daBO_SW (or the strategy's software searcher) per
+// layer. This is how the paper evaluates hand-designed baselines
+// ("under our layerwise software optimizer") and the multi-model
+// generalization scenario of §VII-B.
+func OptimizeSoftware(cfg RunConfig, strat Strategy, accel hw.Accel) (Design, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return Design{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	design, derr := evaluateHardware(cfg, strat, rng, accel, collectLayers(cfg.Models), strat.SWBudget(cfg))
+	if derr != nil {
+		return design, derr
+	}
+	return design, nil
+}
+
+// collectLayers flattens the models' unique layers, tagged by model.
+func collectLayers(models []workload.Model) []modelLayer {
+	var out []modelLayer
+	for _, m := range models {
+		for _, l := range m.Layers {
+			out = append(out, modelLayer{model: m.Name, layer: l})
+		}
+	}
+	return out
+}
+
+// ModelObjectives splits a design's aggregate objective back into
+// per-model values, for multi-model reporting (Figure 8).
+func ModelObjectives(o Objective, d Design) map[string]float64 {
+	energy := map[string]float64{}
+	delay := map[string]float64{}
+	for _, lr := range d.Layers {
+		rep := float64(lr.Layer.Repeat)
+		energy[lr.Model] += rep * lr.Cost.EnergyNJ
+		delay[lr.Model] += rep * lr.Cost.DelayCycles
+	}
+	out := map[string]float64{}
+	for m := range energy {
+		out[m] = AggregateObjective(o, energy[m], delay[m])
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/workload"
+)
+
+func maestroCost(energy, delay float64) (c maestro.Cost) {
+	c.EnergyNJ = energy
+	c.DelayCycles = delay
+	return c
+}
+
+// tinyModel is a small two-layer model that keeps end-to-end tests fast.
+func tinyModel() workload.Model {
+	return workload.Model{
+		Name: "tiny",
+		Layers: []workload.Layer{
+			workload.Conv("a", 1, 32, 16, 3, 3, 10, 10),
+			workload.Conv("b", 1, 64, 32, 1, 1, 8, 8).Times(2),
+		},
+	}
+}
+
+func tinyConfig(seed int64) RunConfig {
+	return RunConfig{
+		Models:    []workload.Model{tinyModel()},
+		Space:     hw.EdgeSpace(),
+		Budget:    hw.EdgeBudget(),
+		Objective: MinEDP,
+		HWSamples: 8,
+		SWSamples: 12,
+		Seed:      seed,
+		Eval:      maestro.New(),
+	}
+}
+
+func TestRunSpotlightEndToEnd(t *testing.T) {
+	res, err := Run(tinyConfig(1), NewSpotlight())
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if res.Tool != "Spotlight" {
+		t.Fatalf("tool = %q", res.Tool)
+	}
+	if len(res.History) != 8 {
+		t.Fatalf("history has %d points, want 8", len(res.History))
+	}
+	if math.IsInf(res.Best.Objective, 1) || res.Best.Objective <= 0 {
+		t.Fatalf("bad best objective: %v", res.Best.Objective)
+	}
+	// BestSoFar must be non-increasing.
+	prev := math.Inf(1)
+	for _, h := range res.History {
+		if h.BestSoFar > prev {
+			t.Fatalf("BestSoFar increased at sample %d", h.Sample)
+		}
+		prev = h.BestSoFar
+	}
+	// The winning design fits the budget and covers every layer.
+	if !res.Config.Budget.Fits(res.Best.Accel) {
+		t.Fatal("winning design exceeds budget")
+	}
+	if len(res.Best.Layers) != 2 {
+		t.Fatalf("winning design has %d layer results, want 2", len(res.Best.Layers))
+	}
+	for _, lr := range res.Best.Layers {
+		if !lr.Valid {
+			t.Fatalf("layer %s has no valid schedule", lr.Layer.Name)
+		}
+		if err := lr.Schedule.Validate(lr.Layer); err != nil {
+			t.Fatalf("winning schedule invalid: %v", err)
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	r1, err1 := Run(tinyConfig(7), NewSpotlight())
+	r2, err2 := Run(tinyConfig(7), NewSpotlight())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs failed: %v / %v", err1, err2)
+	}
+	if r1.Best.Objective != r2.Best.Objective {
+		t.Fatalf("same seed, different results: %v vs %v", r1.Best.Objective, r2.Best.Objective)
+	}
+	r3, err3 := Run(tinyConfig(8), NewSpotlight())
+	if err3 != nil {
+		t.Fatal(err3)
+	}
+	if r3.Best.Objective == r1.Best.Objective {
+		t.Log("warning: different seeds produced identical objectives (possible but unlikely)")
+	}
+}
+
+func TestRunRejectsEmptyConfig(t *testing.T) {
+	if _, err := Run(RunConfig{}, NewSpotlight()); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := tinyConfig(1)
+	cfg.Eval = nil
+	if _, err := Run(cfg, NewSpotlight()); err == nil {
+		t.Fatal("missing evaluator accepted")
+	}
+}
+
+func TestRunDefaultsApplied(t *testing.T) {
+	cfg := RunConfig{
+		Models:    []workload.Model{tinyModel()},
+		Objective: MinDelay,
+		HWSamples: 3,
+		SWSamples: 5,
+		Eval:      maestro.New(),
+	}
+	res, err := Run(cfg, NewSpotlight())
+	if err != nil {
+		t.Fatalf("run with defaults failed: %v", err)
+	}
+	if res.Config.Space.Name != "edge" {
+		t.Fatal("edge space default not applied")
+	}
+	if res.Config.SWConstraint.Name != "free" {
+		t.Fatal("free constraint default not applied")
+	}
+}
+
+func TestOptimizeSoftwareOnBaseline(t *testing.T) {
+	b := hw.EyerissEdge()
+	cfg := tinyConfig(3)
+	cfg.SWConstraint = b.Constraint
+	design, err := OptimizeSoftware(cfg, NewSpotlight(), b.Accel)
+	if err != nil {
+		t.Fatalf("software optimization failed: %v", err)
+	}
+	if design.Accel != b.Accel {
+		t.Fatal("accelerator changed during software-only optimization")
+	}
+	if design.Objective <= 0 || math.IsInf(design.Objective, 1) {
+		t.Fatalf("bad objective: %v", design.Objective)
+	}
+	// Eyeriss-like schedules must respect the pinned dataflow.
+	for _, lr := range design.Layers {
+		if lr.Schedule.OuterUnroll != workload.DimY || lr.Schedule.InnerUnroll != workload.DimX {
+			t.Fatalf("schedule escaped the Eyeriss dataflow: %v", lr.Schedule)
+		}
+	}
+}
+
+func TestModelObjectives(t *testing.T) {
+	d := Design{Layers: []LayerResult{
+		{Model: "m1", Layer: workload.Conv("a", 1, 1, 1, 1, 1, 1, 1), Cost: maestroCost(2, 3), Valid: true},
+		{Model: "m1", Layer: workload.Conv("b", 1, 1, 1, 1, 1, 1, 1).Times(2), Cost: maestroCost(1, 1), Valid: true},
+		{Model: "m2", Layer: workload.Conv("c", 1, 1, 1, 1, 1, 1, 1), Cost: maestroCost(4, 5), Valid: true},
+	}}
+	objs := ModelObjectives(MinDelay, d)
+	if objs["m1"] != 5 { // 3 + 2×1
+		t.Fatalf("m1 delay = %v, want 5", objs["m1"])
+	}
+	if objs["m2"] != 5 {
+		t.Fatalf("m2 delay = %v, want 5", objs["m2"])
+	}
+	edp := ModelObjectives(MinEDP, d)
+	if edp["m1"] != (2+2)*(3+2) {
+		t.Fatalf("m1 EDP = %v, want 20", edp["m1"])
+	}
+}
+
+func TestMultiModelAggregation(t *testing.T) {
+	cfg := tinyConfig(5)
+	second := tinyModel()
+	second.Name = "tiny2"
+	cfg.Models = append(cfg.Models, second)
+	res, err := Run(cfg, NewSpotlight())
+	if err != nil {
+		t.Fatalf("multi-model run failed: %v", err)
+	}
+	objs := ModelObjectives(cfg.Objective, res.Best)
+	if len(objs) != 2 {
+		t.Fatalf("per-model objectives = %v, want 2 entries", objs)
+	}
+	var sum float64
+	for _, v := range objs {
+		sum += v
+	}
+	if math.Abs(sum-res.Best.Objective) > 1e-6*sum {
+		t.Fatalf("per-model sum %v != aggregate %v", sum, res.Best.Objective)
+	}
+}
+
+func TestSpotlightVariantNames(t *testing.T) {
+	if NewSpotlight().Name() != "Spotlight" ||
+		NewSpotlightV().Name() != "Spotlight-V" ||
+		NewSpotlightA().Name() != "Spotlight-A" ||
+		NewSpotlightF().Name() != "Spotlight-F" {
+		t.Fatal("variant names wrong")
+	}
+}
+
+func TestSpotlightVariantsRun(t *testing.T) {
+	for _, strat := range []*Spotlight{NewSpotlightV(), NewSpotlightA(), NewSpotlightF()} {
+		res, err := Run(tinyConfig(11), strat)
+		if err != nil {
+			t.Fatalf("%s failed: %v", strat.Name(), err)
+		}
+		if res.Best.Objective <= 0 {
+			t.Fatalf("%s produced bad objective", strat.Name())
+		}
+	}
+}
+
+func TestSpotlightFStaysInFixedDataflows(t *testing.T) {
+	res, err := Run(tinyConfig(13), NewSpotlightF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[workload.Dim]bool{
+		workload.DimY: true, workload.DimK: true, workload.DimX: true,
+	}
+	for _, lr := range res.Best.Layers {
+		if !allowed[lr.Schedule.OuterUnroll] {
+			t.Fatalf("Spotlight-F escaped fixed dataflows: outer unroll %v", lr.Schedule.OuterUnroll)
+		}
+	}
+}
+
+func TestLastSWImportanceAvailableAfterRun(t *testing.T) {
+	strat := NewSpotlight()
+	res, err := Run(tinyConfig(17), strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	names, imp, ok := strat.LastSWImportance(randSource(17))
+	if !ok {
+		t.Fatal("no importance available after a full run")
+	}
+	if len(names) != len(imp) || len(names) == 0 {
+		t.Fatalf("importance shape mismatch: %d names, %d values", len(names), len(imp))
+	}
+	for i, v := range imp {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("importance %s = %v", names[i], v)
+		}
+	}
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

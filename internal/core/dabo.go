@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"spotlight/internal/gp"
+)
+
+// DABO is the domain-aware Bayesian optimizer of §V. It is agnostic to
+// what is being searched: callers sample candidate design points in
+// parameter space, transform them into feature vectors, and DABO ranks
+// the batch with its surrogate's Lower Confidence Bound, returning the
+// index of the candidate to evaluate next. Observed costs are modeled in
+// log space because EDP and delay span many orders of magnitude.
+//
+// Invalid design points (the co-design space's infeasible regions) are
+// first-class: ObserveInvalid records the feature vector, and at fit time
+// those points receive a penalty cost above the worst valid observation,
+// steering the surrogate away from infeasible regions — one of the two
+// uses of domain information called out in §IV-B1.
+type DABO struct {
+	kernel     gp.Kernel
+	noise      float64
+	kappa      float64
+	warmup     int
+	refitEvery int
+	rng        *rand.Rand
+
+	x       [][]float64
+	y       []float64 // log costs
+	invalid [][]float64
+
+	model       *gp.GP
+	staleness   int
+	fitAttempts int
+}
+
+// DABOOption configures a DABO instance.
+type DABOOption func(*DABO)
+
+// WithKappa sets the LCB exploration weight (default 1.5).
+func WithKappa(k float64) DABOOption { return func(d *DABO) { d.kappa = k } }
+
+// WithWarmup sets how many observations are collected with pure random
+// suggestions before the surrogate is consulted (default 8).
+func WithWarmup(n int) DABOOption { return func(d *DABO) { d.warmup = n } }
+
+// WithRefitEvery sets how many new observations accumulate before the
+// surrogate is refit (default 4). Refitting costs O(n³), so batching
+// refits keeps the search loop fast without materially changing behavior.
+func WithRefitEvery(n int) DABOOption { return func(d *DABO) { d.refitEvery = n } }
+
+// WithNoise sets the surrogate's observation noise variance (default 1e-4).
+func WithNoise(v float64) DABOOption { return func(d *DABO) { d.noise = v } }
+
+// NewDABO returns a daBO optimizer using the given kernel. The paper's
+// configuration is a linear kernel (gp.Linear); §VII-D also evaluates
+// gp.Matern52.
+func NewDABO(kernel gp.Kernel, rng *rand.Rand, opts ...DABOOption) *DABO {
+	d := &DABO{
+		kernel:     kernel,
+		noise:      1e-4,
+		kappa:      1.5,
+		warmup:     8,
+		refitEvery: 4,
+		rng:        rng,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Observations returns the number of valid and invalid observations.
+func (d *DABO) Observations() (valid, invalid int) {
+	return len(d.y), len(d.invalid)
+}
+
+// Observe records a valid design's feature vector and its (positive)
+// cost.
+func (d *DABO) Observe(features []float64, cost float64) {
+	d.x = append(d.x, append([]float64(nil), features...))
+	d.y = append(d.y, math.Log(math.Max(cost, math.SmallestNonzeroFloat64)))
+	d.staleness++
+}
+
+// ObserveInvalid records that a design point was infeasible.
+func (d *DABO) ObserveInvalid(features []float64) {
+	d.invalid = append(d.invalid, append([]float64(nil), features...))
+	d.staleness++
+}
+
+// SuggestIndex picks which of the candidate feature vectors to evaluate
+// next: uniformly at random during warmup (or if the surrogate cannot be
+// fit), otherwise the candidate minimizing the LCB acquisition.
+func (d *DABO) SuggestIndex(candidates [][]float64) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	if len(d.y) < d.warmup {
+		return d.rng.Intn(len(candidates))
+	}
+	if err := d.ensureFit(); err != nil {
+		return d.rng.Intn(len(candidates))
+	}
+	best := -1
+	bestAcq := math.Inf(1)
+	for i, c := range candidates {
+		mean, std, err := d.model.Predict(c)
+		if err != nil {
+			continue
+		}
+		if acq := gp.LCB(mean, std, d.kappa); acq < bestAcq {
+			bestAcq = acq
+			best = i
+		}
+	}
+	if best < 0 {
+		return d.rng.Intn(len(candidates))
+	}
+	return best
+}
+
+// ensureFit refits the surrogate if enough new observations accumulated.
+func (d *DABO) ensureFit() error {
+	if d.model != nil && d.staleness < d.refitEvery {
+		return nil
+	}
+	x := make([][]float64, 0, len(d.x)+len(d.invalid))
+	y := make([]float64, 0, len(d.x)+len(d.invalid))
+	x = append(x, d.x...)
+	y = append(y, d.y...)
+	if len(d.invalid) > 0 {
+		// Penalize infeasible points just above the worst valid cost, so
+		// the surrogate learns a cliff without distorting the valid
+		// region's scale.
+		worst := 0.0
+		for i, v := range d.y {
+			if i == 0 || v > worst {
+				worst = v
+			}
+		}
+		penalty := worst + 2 // ≈ 7.4× the worst valid cost, in log space
+		for _, f := range d.invalid {
+			x = append(x, f)
+			y = append(y, penalty)
+		}
+	}
+	if len(x) == 0 {
+		return gp.ErrNoData
+	}
+	m := gp.New(d.kernel, d.noise)
+	if err := m.Fit(x, y); err != nil {
+		return err
+	}
+	d.model = m
+	d.staleness = 0
+	return nil
+}
+
+// Surrogate returns the fitted surrogate (refitting if stale), for
+// analyses such as permutation importance. It returns nil when no model
+// can be fit yet.
+func (d *DABO) Surrogate() *gp.GP {
+	if err := d.ensureFit(); err != nil {
+		return nil
+	}
+	return d.model
+}
+
+// ValidObservations returns copies of the valid observations' feature
+// matrix, for feature-importance analysis.
+func (d *DABO) ValidObservations() [][]float64 {
+	out := make([][]float64, len(d.x))
+	for i, row := range d.x {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}

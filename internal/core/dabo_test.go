@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spotlight/internal/gp"
+)
+
+// syntheticCandidates draws n 1-D feature vectors uniform on [0, 10).
+func syntheticCandidates(rng *rand.Rand, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{rng.Float64() * 10}
+	}
+	return out
+}
+
+func TestDABOConvergesOnSmoothFunction(t *testing.T) {
+	// Minimize (x-3)² + 0.1. After training, daBO's suggestions should
+	// sit much closer to 3 than random sampling does.
+	cost := func(x float64) float64 { return (x-3)*(x-3) + 0.1 }
+	rng := rand.New(rand.NewSource(1))
+	d := NewDABO(gp.RBF{LengthScale: 2, Variance: 1}, rng, WithWarmup(5), WithRefitEvery(1))
+
+	for i := 0; i < 40; i++ {
+		cands := syntheticCandidates(rng, 32)
+		idx := d.SuggestIndex(cands)
+		x := cands[idx][0]
+		d.Observe(cands[idx], cost(x))
+	}
+	// Measure where the trained optimizer points.
+	var sumDist float64
+	const probes = 20
+	for i := 0; i < probes; i++ {
+		cands := syntheticCandidates(rng, 64)
+		idx := d.SuggestIndex(cands)
+		sumDist += math.Abs(cands[idx][0] - 3)
+	}
+	mean := sumDist / probes
+	// Random choice over [0,10) has expected distance ≈ 2.6 from x=3.
+	if mean > 1.0 {
+		t.Fatalf("trained daBO mean distance to optimum = %v, want < 1.0", mean)
+	}
+}
+
+func TestDABOAvoidsInvalidRegion(t *testing.T) {
+	// Points with x > 5 are infeasible. After training, suggestions
+	// should rarely land there.
+	rng := rand.New(rand.NewSource(2))
+	d := NewDABO(gp.RBF{LengthScale: 2, Variance: 1}, rng, WithWarmup(5), WithRefitEvery(1))
+	cost := func(x float64) float64 { return 10 - x } // tempts toward the cliff
+
+	for i := 0; i < 60; i++ {
+		cands := syntheticCandidates(rng, 32)
+		idx := d.SuggestIndex(cands)
+		x := cands[idx][0]
+		if x > 5 {
+			d.ObserveInvalid(cands[idx])
+		} else {
+			d.Observe(cands[idx], cost(x))
+		}
+	}
+	var invalidPicks int
+	const probes = 30
+	for i := 0; i < probes; i++ {
+		cands := syntheticCandidates(rng, 64)
+		idx := d.SuggestIndex(cands)
+		if cands[idx][0] > 5 {
+			invalidPicks++
+		}
+	}
+	// Random sampling would land in the invalid half ~50% of the time.
+	if invalidPicks > probes/4 {
+		t.Fatalf("daBO picked invalid region %d/%d times", invalidPicks, probes)
+	}
+}
+
+func TestDABOWarmupIsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDABO(gp.Linear{Bias: 1}, rng, WithWarmup(10))
+	if v, iv := d.Observations(); v != 0 || iv != 0 {
+		t.Fatal("fresh daBO has observations")
+	}
+	// During warmup, suggestions must be valid indices without a model.
+	for i := 0; i < 5; i++ {
+		cands := syntheticCandidates(rng, 8)
+		idx := d.SuggestIndex(cands)
+		if idx < 0 || idx >= len(cands) {
+			t.Fatalf("warmup suggestion out of range: %d", idx)
+		}
+		d.Observe(cands[idx], 1.0)
+	}
+	if v, _ := d.Observations(); v != 5 {
+		t.Fatalf("observation count = %d, want 5", v)
+	}
+}
+
+func TestDABOEmptyCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDABO(gp.Linear{Bias: 1}, rng)
+	if idx := d.SuggestIndex(nil); idx != -1 {
+		t.Fatalf("empty candidate suggestion = %d, want -1", idx)
+	}
+}
+
+func TestDABOOnlyInvalidObservations(t *testing.T) {
+	// With nothing valid yet, the optimizer must still function.
+	rng := rand.New(rand.NewSource(5))
+	d := NewDABO(gp.Linear{Bias: 1}, rng, WithWarmup(0), WithRefitEvery(1))
+	for i := 0; i < 10; i++ {
+		cands := syntheticCandidates(rng, 8)
+		idx := d.SuggestIndex(cands)
+		if idx < 0 || idx >= len(cands) {
+			t.Fatalf("suggestion out of range with invalid-only data: %d", idx)
+		}
+		d.ObserveInvalid(cands[idx])
+	}
+}
+
+func TestDABOSurrogateExposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := NewDABO(gp.Linear{Bias: 1}, rng, WithWarmup(0), WithRefitEvery(1))
+	if d.Surrogate() != nil {
+		t.Fatal("surrogate available before any data")
+	}
+	for i := 0; i < 10; i++ {
+		x := float64(i)
+		d.Observe([]float64{x}, 1+x)
+	}
+	if d.Surrogate() == nil {
+		t.Fatal("surrogate unavailable after observations")
+	}
+	if got := len(d.ValidObservations()); got != 10 {
+		t.Fatalf("valid observations = %d, want 10", got)
+	}
+}
+
+func TestDABOObservationCopied(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDABO(gp.Linear{Bias: 1}, rng)
+	f := []float64{1, 2}
+	d.Observe(f, 3)
+	f[0] = 99
+	if d.ValidObservations()[0][0] != 1 {
+		t.Fatal("daBO aliased the caller's feature slice")
+	}
+}
+
+func TestDABOKappaControlsExploration(t *testing.T) {
+	// With identical observations, a high-kappa optimizer must pick
+	// candidates with higher predictive uncertainty at least sometimes
+	// when a low-kappa one exploits the known minimum.
+	train := func(kappa float64, seed int64) *DABO {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDABO(gp.RBF{LengthScale: 0.5, Variance: 1}, rng,
+			WithWarmup(0), WithRefitEvery(1), WithKappa(kappa))
+		// Observations only in [0, 2]: far region is unexplored.
+		for i := 0; i < 20; i++ {
+			x := rng.Float64() * 2
+			d.Observe([]float64{x}, 1+(x-1)*(x-1))
+		}
+		return d
+	}
+	// Candidates: near the observed minimum and in the unexplored region.
+	cands := [][]float64{{1.0}, {9.0}}
+	exploit := train(0.01, 1)
+	explore := train(50, 1)
+	if idx := exploit.SuggestIndex(cands); idx != 0 {
+		t.Fatalf("low-kappa optimizer explored (picked %d)", idx)
+	}
+	if idx := explore.SuggestIndex(cands); idx != 1 {
+		t.Fatalf("high-kappa optimizer exploited (picked %d)", idx)
+	}
+}
+
+func TestDABORefitEveryBatchesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDABO(gp.Linear{Bias: 1}, rng, WithWarmup(0), WithRefitEvery(5))
+	for i := 0; i < 3; i++ {
+		d.Observe([]float64{float64(i)}, float64(i+1))
+	}
+	m1 := d.Surrogate()
+	if m1 == nil {
+		t.Fatal("no surrogate")
+	}
+	// Two more observations stay under the refit threshold: same model.
+	d.Observe([]float64{10}, 11)
+	if d.Surrogate() != m1 {
+		t.Fatal("surrogate refit before the staleness threshold")
+	}
+	// Enough new observations force a refit.
+	for i := 0; i < 5; i++ {
+		d.Observe([]float64{float64(20 + i)}, float64(21+i))
+	}
+	if d.Surrogate() == m1 {
+		t.Fatal("surrogate not refit after the staleness threshold")
+	}
+}
+
+func TestDABOPenaltyScalesWithWorstValid(t *testing.T) {
+	// The invalid-point penalty tracks the worst valid observation, so a
+	// surrogate trained with both must predict invalid regions as worse
+	// than anything valid.
+	rng := rand.New(rand.NewSource(9))
+	d := NewDABO(gp.RBF{LengthScale: 1, Variance: 1}, rng, WithWarmup(0), WithRefitEvery(1))
+	for i := 0; i < 15; i++ {
+		x := rng.Float64() * 3
+		d.Observe([]float64{x}, 10+x)
+	}
+	for i := 0; i < 15; i++ {
+		d.ObserveInvalid([]float64{8 + rng.Float64()})
+	}
+	m := d.Surrogate()
+	if m == nil {
+		t.Fatal("no surrogate")
+	}
+	validMean, _, err1 := m.Predict([]float64{1.5})
+	invalidMean, _, err2 := m.Predict([]float64{8.5})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("predict failed: %v %v", err1, err2)
+	}
+	if invalidMean <= validMean {
+		t.Fatalf("invalid region predicted better (%v) than valid (%v)", invalidMean, validMean)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// DesignExport is the stable on-disk form of a co-designed solution,
+// mirroring the paper artifact's output ("all sample points and final
+// results for architectural parameters and software schedules"). It is a
+// flattened, versioned view of Design so downstream tooling does not
+// depend on internal struct layout.
+type DesignExport struct {
+	Version   int                `json:"version"`
+	Tool      string             `json:"tool,omitempty"`
+	Objective string             `json:"objective"`
+	Value     float64            `json:"value"`
+	Accel     AccelExport        `json:"accelerator"`
+	Layers    []LayerExport      `json:"layers"`
+	PerModel  map[string]float64 `json:"per_model,omitempty"`
+}
+
+// AccelExport is the hardware half of a design.
+type AccelExport struct {
+	PEs       int     `json:"pes"`
+	Width     int     `json:"width"`
+	Height    int     `json:"height"`
+	SIMDLanes int     `json:"simd_lanes"`
+	RFKB      int     `json:"rf_kb"`
+	L2KB      int     `json:"l2_kb"`
+	NoCBW     int     `json:"noc_bw"`
+	AreaMM2   float64 `json:"area_mm2"`
+	PowerMW   float64 `json:"peak_power_mw"`
+}
+
+// LayerExport is one layer's schedule and cost.
+type LayerExport struct {
+	Model       string  `json:"model,omitempty"`
+	Layer       string  `json:"layer"`
+	Repeat      int     `json:"repeat"`
+	T2          [7]int  `json:"t2"`
+	T1          [7]int  `json:"t1"`
+	OuterOrder  string  `json:"outer_order"`
+	InnerOrder  string  `json:"inner_order"`
+	OuterUnroll string  `json:"outer_unroll"`
+	InnerUnroll string  `json:"inner_unroll"`
+	DelayCycles float64 `json:"delay_cycles"`
+	EnergyNJ    float64 `json:"energy_nj"`
+	Utilization float64 `json:"utilization"`
+}
+
+// exportVersion is bumped on incompatible schema changes.
+const exportVersion = 1
+
+// Export flattens a design for serialization.
+func Export(tool string, obj Objective, d Design) DesignExport {
+	out := DesignExport{
+		Version:   exportVersion,
+		Tool:      tool,
+		Objective: obj.String(),
+		Value:     d.Objective,
+		Accel: AccelExport{
+			PEs:       d.Accel.PEs,
+			Width:     d.Accel.Width,
+			Height:    d.Accel.Height(),
+			SIMDLanes: d.Accel.SIMDLanes,
+			RFKB:      d.Accel.RFKB,
+			L2KB:      d.Accel.L2KB,
+			NoCBW:     d.Accel.NoCBW,
+			AreaMM2:   d.Accel.AreaMM2(),
+			PowerMW:   d.Accel.PeakPowerMW(),
+		},
+		PerModel: ModelObjectives(obj, d),
+	}
+	for _, lr := range d.Layers {
+		out.Layers = append(out.Layers, LayerExport{
+			Model:       lr.Model,
+			Layer:       lr.Layer.Name,
+			Repeat:      lr.Layer.Repeat,
+			T2:          lr.Schedule.T2,
+			T1:          lr.Schedule.T1,
+			OuterOrder:  orderString(lr.Schedule.OuterOrder),
+			InnerOrder:  orderString(lr.Schedule.InnerOrder),
+			OuterUnroll: lr.Schedule.OuterUnroll.String(),
+			InnerUnroll: lr.Schedule.InnerUnroll.String(),
+			DelayCycles: lr.Cost.DelayCycles,
+			EnergyNJ:    lr.Cost.EnergyNJ,
+			Utilization: lr.Cost.Utilization,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the export as indented JSON.
+func WriteJSON(w io.Writer, e DesignExport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ReadJSON parses a previously written export, validating the version.
+func ReadJSON(r io.Reader) (DesignExport, error) {
+	var e DesignExport
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return e, fmt.Errorf("core: parsing design export: %w", err)
+	}
+	if e.Version != exportVersion {
+		return e, fmt.Errorf("core: design export version %d, want %d", e.Version, exportVersion)
+	}
+	return e, nil
+}
+
+// orderString renders a loop order as e.g. "N>K>C>R>S>X>Y", outermost
+// first.
+func orderString(order [workload.NumDims]workload.Dim) string {
+	out := ""
+	for i, d := range order {
+		if i > 0 {
+			out += ">"
+		}
+		out += d.String()
+	}
+	return out
+}
+
+// ScheduleFromExport reconstructs a sched.Schedule from an exported
+// layer, so saved designs can be re-evaluated (e.g. on another cost
+// model).
+func ScheduleFromExport(le LayerExport) (sched.Schedule, error) {
+	var s sched.Schedule
+	s.T2, s.T1 = le.T2, le.T1
+	var err error
+	if s.OuterOrder, err = parseOrder(le.OuterOrder); err != nil {
+		return s, err
+	}
+	if s.InnerOrder, err = parseOrder(le.InnerOrder); err != nil {
+		return s, err
+	}
+	if s.OuterUnroll, err = parseDim(le.OuterUnroll); err != nil {
+		return s, err
+	}
+	if s.InnerUnroll, err = parseDim(le.InnerUnroll); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+func parseOrder(s string) ([workload.NumDims]workload.Dim, error) {
+	var out [workload.NumDims]workload.Dim
+	i := 0
+	for _, part := range splitOrder(s) {
+		d, err := parseDim(part)
+		if err != nil {
+			return out, err
+		}
+		if i >= workload.NumDims {
+			return out, fmt.Errorf("core: loop order %q has too many dimensions", s)
+		}
+		out[i] = d
+		i++
+	}
+	if i != workload.NumDims {
+		return out, fmt.Errorf("core: loop order %q has %d dimensions, want %d", s, i, workload.NumDims)
+	}
+	return out, nil
+}
+
+func splitOrder(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '>' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func parseDim(s string) (workload.Dim, error) {
+	for _, d := range workload.AllDims {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown dimension %q", s)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spotlight/internal/maestro"
+	"spotlight/internal/workload"
+)
+
+func exportedRun(t *testing.T) (Result, DesignExport) {
+	t.Helper()
+	res, err := Run(tinyConfig(23), NewSpotlight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, Export(res.Tool, res.Config.Objective, res.Best)
+}
+
+func TestExportShape(t *testing.T) {
+	res, e := exportedRun(t)
+	if e.Version != exportVersion || e.Tool != "Spotlight" {
+		t.Fatalf("header wrong: %+v", e)
+	}
+	if e.Value != res.Best.Objective {
+		t.Fatal("objective value mismatch")
+	}
+	if e.Accel.PEs != res.Best.Accel.PEs || e.Accel.Height != res.Best.Accel.Height() {
+		t.Fatal("accelerator fields mismatch")
+	}
+	if len(e.Layers) != len(res.Best.Layers) {
+		t.Fatal("layer count mismatch")
+	}
+	if len(e.PerModel) != 1 {
+		t.Fatalf("per-model map = %v", e.PerModel)
+	}
+	for _, l := range e.Layers {
+		if !strings.Contains(l.OuterOrder, ">") {
+			t.Fatalf("order not rendered: %q", l.OuterOrder)
+		}
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	_, e := exportedRun(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != e.Value || got.Accel != e.Accel || len(got.Layers) != len(e.Layers) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestReadJSONRejectsBadVersion(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestScheduleFromExportRoundTrip(t *testing.T) {
+	// An exported schedule must reconstruct to something that validates
+	// and re-evaluates to the identical cost.
+	res, e := exportedRun(t)
+	eval := maestro.New()
+	for i, le := range e.Layers {
+		s, err := ScheduleFromExport(le)
+		if err != nil {
+			t.Fatalf("layer %s: %v", le.Layer, err)
+		}
+		orig := res.Best.Layers[i]
+		if s != orig.Schedule {
+			t.Fatalf("layer %s: schedule changed through export:\n%v\n%v",
+				le.Layer, orig.Schedule, s)
+		}
+		c, err := eval.Evaluate(res.Best.Accel, s, orig.Layer)
+		if err != nil {
+			t.Fatalf("re-evaluating exported schedule: %v", err)
+		}
+		if c.DelayCycles != orig.Cost.DelayCycles {
+			t.Fatalf("cost changed through export: %v vs %v", c.DelayCycles, orig.Cost.DelayCycles)
+		}
+	}
+}
+
+func TestParseOrderErrors(t *testing.T) {
+	if _, err := parseOrder("N>K>C"); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := parseOrder("N>K>C>R>S>X>Q"); err == nil {
+		t.Fatal("unknown dim accepted")
+	}
+	if _, err := parseOrder("N>K>C>R>S>X>Y>N"); err == nil {
+		t.Fatal("overlong order accepted")
+	}
+}
+
+func TestParseDim(t *testing.T) {
+	for _, d := range workload.AllDims {
+		got, err := parseDim(d.String())
+		if err != nil || got != d {
+			t.Fatalf("parseDim(%s) = %v, %v", d, got, err)
+		}
+	}
+	if _, err := parseDim("Z"); err == nil {
+		t.Fatal("unknown dim accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParseOrder ensures arbitrary order strings never panic and are
+// either rejected or round-trip losslessly.
+func FuzzParseOrder(f *testing.F) {
+	f.Add("N>K>C>R>S>X>Y")
+	f.Add("Y>X>S>R>C>K>N")
+	f.Add("")
+	f.Add("N>N>N>N>N>N>N")
+	f.Add("garbage>input")
+	f.Fuzz(func(t *testing.T, s string) {
+		order, err := parseOrder(s)
+		if err != nil {
+			return
+		}
+		if got := orderString(order); got != s {
+			t.Fatalf("accepted order %q does not round-trip: %q", s, got)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spotlight/internal/hw"
+)
+
+func designWith(objective float64, a hw.Accel) Design {
+	return Design{Accel: a, Objective: objective}
+}
+
+func accelSized(pes, rf int) hw.Accel {
+	return hw.Accel{PEs: pes, Width: 1, SIMDLanes: 2, RFKB: rf, L2KB: 64, NoCBW: 64}
+}
+
+func TestParetoDominance(t *testing.T) {
+	small := accelSized(128, 64)
+	big := accelSized(300, 256)
+	// Better objective AND smaller silicon dominates.
+	if !dominates(designWith(1, small), designWith(2, big)) {
+		t.Fatal("clear dominance missed")
+	}
+	// Trade-off (better objective, bigger silicon) does not dominate.
+	if dominates(designWith(1, big), designWith(2, small)) {
+		t.Fatal("trade-off treated as dominance")
+	}
+	// Equal designs do not dominate each other.
+	if dominates(designWith(1, small), designWith(1, small)) {
+		t.Fatal("equal designs should not dominate")
+	}
+}
+
+func TestParetoFrontierKeepsTradeoffs(t *testing.T) {
+	var f ParetoFrontier
+	if !f.Add(designWith(10, accelSized(300, 256))) { // fast, big
+		t.Fatal("first design rejected")
+	}
+	if !f.Add(designWith(20, accelSized(128, 64))) { // slow, small
+		t.Fatal("trade-off design rejected")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("frontier size = %d, want 2", f.Len())
+	}
+	// A dominated design is rejected.
+	if f.Add(designWith(30, accelSized(300, 256))) {
+		t.Fatal("dominated design accepted")
+	}
+	// A dominating design evicts.
+	if !f.Add(designWith(5, accelSized(128, 64))) {
+		t.Fatal("dominating design rejected")
+	}
+	for _, d := range f.Designs() {
+		if d.Objective == 20 {
+			t.Fatal("dominated design not evicted")
+		}
+	}
+}
+
+func TestParetoDesignsSorted(t *testing.T) {
+	var f ParetoFrontier
+	f.Add(designWith(30, accelSized(128, 64)))
+	f.Add(designWith(10, accelSized(300, 256)))
+	f.Add(designWith(20, accelSized(200, 128)))
+	prev := -1.0
+	for _, d := range f.Designs() {
+		if d.Objective < prev {
+			t.Fatal("frontier not sorted by objective")
+		}
+		prev = d.Objective
+	}
+}
+
+func TestSelectWithinBudget(t *testing.T) {
+	var f ParetoFrontier
+	small := accelSized(128, 64)
+	big := accelSized(300, 256)
+	f.Add(designWith(10, big))   // best objective, large
+	f.Add(designWith(20, small)) // worse objective, small
+
+	// A budget only the small design fits selects it despite the worse
+	// objective.
+	tight := hw.Budget{AreaMM2: small.AreaMM2() + 1, PowerMW: 1e9}
+	d, ok := f.SelectWithinBudget(tight)
+	if !ok || d.Objective != 20 {
+		t.Fatalf("tight budget selected %+v, want the small design", d.Objective)
+	}
+
+	// A budget both fit selects the design closest to the allowance —
+	// the big one (§VI-B: closest without exceeding).
+	loose := hw.Budget{AreaMM2: big.AreaMM2() + 1, PowerMW: 1e9}
+	d, ok = f.SelectWithinBudget(loose)
+	if !ok || d.Objective != 10 {
+		t.Fatalf("loose budget selected %+v, want the big design", d.Objective)
+	}
+
+	// A budget neither fits selects nothing.
+	if _, ok := f.SelectWithinBudget(hw.Budget{AreaMM2: 0.001, PowerMW: 0.001}); ok {
+		t.Fatal("impossible budget produced a selection")
+	}
+}
+
+// Property: no frontier member dominates another, regardless of insertion
+// order.
+func TestParetoMutualNonDominationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var fr ParetoFrontier
+		for i := 0; i < 40; i++ {
+			a := accelSized(128+rng.Intn(170), 64+8*rng.Intn(25))
+			fr.Add(designWith(1+rng.Float64()*100, a))
+		}
+		ds := fr.Designs()
+		for i := range ds {
+			for j := range ds {
+				if i != j && dominates(ds[i], ds[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopDesigns(t *testing.T) {
+	top := TopDesigns{K: 3}
+	for i, obj := range []float64{50, 10, 30, 20, 40} {
+		top.Add(designWith(obj, accelSized(128+i, 64)))
+	}
+	got := top.Designs()
+	if len(got) != 3 {
+		t.Fatalf("kept %d designs, want 3", len(got))
+	}
+	want := []float64{10, 20, 30}
+	for i, d := range got {
+		if d.Objective != want[i] {
+			t.Fatalf("top designs = %v at %d, want %v", d.Objective, i, want[i])
+		}
+	}
+}
+
+func TestTopDesignsDeduplicatesAccel(t *testing.T) {
+	top := TopDesigns{K: 5}
+	a := accelSized(128, 64)
+	top.Add(designWith(30, a))
+	top.Add(designWith(10, a)) // same accelerator, better objective
+	got := top.Designs()
+	if len(got) != 1 || got[0].Objective != 10 {
+		t.Fatalf("dedup failed: %+v", got)
+	}
+	top.Add(designWith(50, a)) // worse duplicate ignored
+	if top.Designs()[0].Objective != 10 {
+		t.Fatal("worse duplicate replaced the better entry")
+	}
+}
+
+func TestTopDesignsZeroK(t *testing.T) {
+	var top TopDesigns
+	top.Add(designWith(1, accelSized(128, 64)))
+	if len(top.Designs()) != 0 {
+		t.Fatal("K=0 collection retained a design")
+	}
+}
+
+func TestRunPopulatesFrontierAndTop(t *testing.T) {
+	res, err := Run(tinyConfig(21), NewSpotlight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty pareto frontier after a successful run")
+	}
+	if len(res.Top) == 0 {
+		t.Fatal("empty top-K after a successful run")
+	}
+	if res.Top[0].Objective != res.Best.Objective {
+		t.Fatalf("top design %v != best %v", res.Top[0].Objective, res.Best.Objective)
+	}
+	// Frontier designs all fit the budget (out-of-budget samples are
+	// invalid and never reach the frontier).
+	for _, d := range res.Frontier {
+		if !res.Config.Budget.Fits(d.Accel) {
+			t.Fatal("frontier contains an over-budget design")
+		}
+	}
+	// §VI-B selection returns something within budget.
+	var fr ParetoFrontier
+	for _, d := range res.Frontier {
+		fr.Add(d)
+	}
+	if _, ok := fr.SelectWithinBudget(res.Config.Budget); !ok {
+		t.Fatal("budget-closest selection failed on a populated frontier")
+	}
+}

@@ -1,0 +1,71 @@
+// Package core implements the paper's primary contribution: daBO, the
+// domain-aware Bayesian optimization framework (§V), the feature space
+// that injects hardware/software co-design knowledge into the search
+// (§IV-B, Figure 4), and Spotlight, the layerwise nested HW/SW co-design
+// tool built on daBO (§VI).
+package core
+
+import (
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// Point is one co-design point: an accelerator, a software schedule, and
+// the layer the schedule runs. Features (Figure 4) are arbitrary
+// transformations of a Point into ℝ.
+type Point struct {
+	Accel hw.Accel
+	Sched sched.Schedule
+	Layer workload.Layer
+}
+
+// Evaluator abstracts the analytical cost model backend so Spotlight can
+// run against the primary MAESTRO-like model, the Timeloop-like model of
+// §VII-F, or a test double.
+type Evaluator interface {
+	// Evaluate returns the cost of the design, or an error wrapping
+	// maestro.ErrInvalid for points outside the feasible region.
+	Evaluate(hw.Accel, sched.Schedule, workload.Layer) (maestro.Cost, error)
+	// Name identifies the backend in reports.
+	Name() string
+}
+
+// Objective selects the single-objective metric Spotlight minimizes
+// (§VI-B).
+type Objective int
+
+// The two objectives the paper evaluates.
+const (
+	MinEDP Objective = iota
+	MinDelay
+)
+
+// String returns the metric's display name.
+func (o Objective) String() string {
+	if o == MinDelay {
+		return "delay"
+	}
+	return "EDP"
+}
+
+// LayerCost reduces a per-layer cost to the objective's scalar for that
+// layer. Model-level aggregation happens in AggregateObjective, because
+// EDP does not sum across layers (energy and delay sum separately).
+func (o Objective) LayerCost(c maestro.Cost) float64 {
+	if o == MinDelay {
+		return c.DelayCycles
+	}
+	return c.EDP()
+}
+
+// AggregateObjective combines per-layer costs (already weighted by layer
+// repeat counts) into the model-level objective: total delay for
+// MinDelay, total-energy × total-delay for MinEDP.
+func AggregateObjective(o Objective, totalEnergyNJ, totalDelayCycles float64) float64 {
+	if o == MinDelay {
+		return totalDelayCycles
+	}
+	return totalEnergyNJ * totalDelayCycles
+}

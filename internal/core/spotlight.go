@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"spotlight/internal/gp"
+	"spotlight/internal/hw"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// Spotlight is the paper's co-design strategy (§VI): daBO over the
+// hardware space nested with daBO over each layer's software space, both
+// searching in feature space with a linear-kernel Gaussian process
+// surrogate. Its fields select the ablation variants of §VII-D/E.
+type Spotlight struct {
+	// Mode selects the feature set: FeatureSpotlight (the paper's
+	// Figure 4 features), FeatureVanilla (Spotlight-V) or FeatureAll
+	// (Spotlight-A).
+	Mode FeatureMode
+	// Kernel overrides the surrogate kernel; nil means the paper's
+	// linear kernel.
+	Kernel gp.Kernel
+	// FixedDataflows restricts the software space to the three
+	// ConfuciuX dataflows with K/C tiling only (Spotlight-F).
+	FixedDataflows bool
+	// CandidateBatch is the number of random parameter-space candidates
+	// ranked by the acquisition function per suggestion (default 64).
+	CandidateBatch int
+	// Kappa is the LCB exploration weight (default 1.5).
+	Kappa float64
+
+	// lastSW retains the most recent software searcher for
+	// feature-importance analysis (Figure 9); mu makes a single strategy
+	// value safe to use from concurrent runs (parallel trials).
+	mu     sync.Mutex
+	lastSW *spotlightSW
+}
+
+// NewSpotlight returns the full Spotlight configuration.
+func NewSpotlight() *Spotlight { return &Spotlight{} }
+
+// NewSpotlightV returns Spotlight-V: identical machinery but the
+// surrogate is trained directly on raw parameters — off-the-shelf BO.
+func NewSpotlightV() *Spotlight { return &Spotlight{Mode: FeatureVanilla} }
+
+// NewSpotlightA returns Spotlight-A: the union of features and raw
+// parameters.
+func NewSpotlightA() *Spotlight { return &Spotlight{Mode: FeatureAll} }
+
+// NewSpotlightF returns Spotlight-F: the feature space over the three
+// fixed dataflows with tiling searched only in K and C.
+func NewSpotlightF() *Spotlight { return &Spotlight{FixedDataflows: true} }
+
+// Name implements Strategy, matching the labels of Figure 10.
+func (s *Spotlight) Name() string {
+	switch {
+	case s.FixedDataflows:
+		return "Spotlight-F"
+	case s.Mode == FeatureVanilla:
+		return "Spotlight-V"
+	case s.Mode == FeatureAll:
+		return "Spotlight-A"
+	default:
+		return "Spotlight"
+	}
+}
+
+func (s *Spotlight) kernel() gp.Kernel {
+	if s.Kernel != nil {
+		return s.Kernel
+	}
+	return gp.Linear{Bias: 1}
+}
+
+func (s *Spotlight) batch() int {
+	if s.CandidateBatch > 0 {
+		return s.CandidateBatch
+	}
+	return 64
+}
+
+func (s *Spotlight) kappa() float64 {
+	if s.Kappa > 0 {
+		return s.Kappa
+	}
+	return 1.5
+}
+
+// SWBudget implements Strategy: Spotlight spends the full configured
+// software budget.
+func (s *Spotlight) SWBudget(cfg RunConfig) int { return cfg.SWSamples }
+
+// NewHW implements Strategy.
+func (s *Spotlight) NewHW(cfg RunConfig, rng *rand.Rand) HWProposer {
+	return &spotlightHW{
+		dabo:     NewDABO(s.kernel(), rng, WithKappa(s.kappa())),
+		features: FeaturesFor(s.Mode, true),
+		space:    cfg.Space,
+		budget:   cfg.Budget,
+		batch:    s.batch(),
+		rng:      rng,
+	}
+}
+
+type spotlightHW struct {
+	dabo     *DABO
+	features []Feature
+	space    hw.Space
+	budget   hw.Budget
+	batch    int
+	rng      *rand.Rand
+}
+
+// Suggest ranks a batch of random candidates on the surrogate. The area
+// and power budget is known a priori, so candidates exceeding it are
+// resampled — using explicit constraints to steer sampling is exactly
+// the kind of domain information §IV-B1 calls for (the cloud space in
+// particular is >90% over budget). If the budget is unattainable within
+// the retry allowance, the raw sample is kept and the cost model will
+// reject it.
+func (h *spotlightHW) Suggest() hw.Accel {
+	cands := make([]hw.Accel, h.batch)
+	feats := make([][]float64, h.batch)
+	for i := range cands {
+		cands[i] = h.space.Random(h.rng)
+		for retry := 0; retry < 16 && !h.budget.Fits(cands[i]); retry++ {
+			cands[i] = h.space.Random(h.rng)
+		}
+		feats[i] = Transform(h.features, Point{Accel: cands[i]})
+	}
+	idx := h.dabo.SuggestIndex(feats)
+	return cands[idx]
+}
+
+func (h *spotlightHW) Observe(a hw.Accel, objective float64, err error) {
+	f := Transform(h.features, Point{Accel: a})
+	if err != nil || math.IsInf(objective, 1) {
+		h.dabo.ObserveInvalid(f)
+		return
+	}
+	h.dabo.Observe(f, objective)
+}
+
+// NewSW implements Strategy.
+func (s *Spotlight) NewSW(cfg RunConfig, rng *rand.Rand, a hw.Accel, l workload.Layer) SWProposer {
+	constraints := []sched.Constraint{cfg.SWConstraint}
+	if s.FixedDataflows {
+		constraints = constraints[:0]
+		for _, df := range sched.FixedDataflows() {
+			constraints = append(constraints, sched.SpotlightF(df))
+		}
+	}
+	sw := &spotlightSW{
+		dabo:        NewDABO(s.kernel(), rng, WithKappa(s.kappa())),
+		features:    FeaturesFor(s.Mode, false),
+		constraints: constraints,
+		accel:       a,
+		layer:       l,
+		batch:       s.batch(),
+		rng:         rng,
+	}
+	s.mu.Lock()
+	s.lastSW = sw
+	s.mu.Unlock()
+	return sw
+}
+
+type spotlightSW struct {
+	dabo        *DABO
+	features    []Feature
+	constraints []sched.Constraint
+	accel       hw.Accel
+	layer       workload.Layer
+	batch       int
+	rng         *rand.Rand
+}
+
+func (w *spotlightSW) Suggest() sched.Schedule {
+	cands := make([]sched.Schedule, w.batch)
+	feats := make([][]float64, w.batch)
+	for i := range cands {
+		c := w.constraints[w.rng.Intn(len(w.constraints))]
+		cands[i] = c.Random(w.rng, w.layer, w.accel.RFBytesPerPE(), w.accel.L2Bytes())
+		feats[i] = Transform(w.features, Point{Accel: w.accel, Sched: cands[i], Layer: w.layer})
+	}
+	idx := w.dabo.SuggestIndex(feats)
+	return cands[idx]
+}
+
+func (w *spotlightSW) Observe(s sched.Schedule, objective float64, err error) {
+	f := Transform(w.features, Point{Accel: w.accel, Sched: s, Layer: w.layer})
+	if err != nil || math.IsInf(objective, 1) {
+		w.dabo.ObserveInvalid(f)
+		return
+	}
+	w.dabo.Observe(f, objective)
+}
+
+// LastSWImportance computes the permutation importance of each software
+// feature on the most recent layer's surrogate (Figure 9). It returns
+// feature names alongside raw (unnormalized) importances, or false when
+// no surrogate is available.
+func (s *Spotlight) LastSWImportance(rng *rand.Rand) ([]string, []float64, bool) {
+	s.mu.Lock()
+	sw := s.lastSW
+	s.mu.Unlock()
+	if sw == nil {
+		return nil, nil, false
+	}
+	model := sw.dabo.Surrogate()
+	if model == nil {
+		return nil, nil, false
+	}
+	imp, err := PermutationImportance(model, sw.dabo.ValidObservations(), rng)
+	if err != nil {
+		return nil, nil, false
+	}
+	return Names(sw.features), imp, true
+}

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRows emits the grouped-bar rows in the CSV format of the paper's
+// compare-ae.sh script: configuration, min, max, median, and median
+// normalized to Spotlight.
+func WriteRows(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "config", "min", "max", "median", "normalized"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Model, r.Config,
+			formatG(r.Min), formatG(r.Max), formatG(r.Median), formatG(r.Normalized),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable emits an arbitrary header + rows table as CSV.
+func WriteTable(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if len(r) != len(header) {
+			return fmt.Errorf("exp: row has %d fields, header has %d", len(r), len(header))
+		}
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatG(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

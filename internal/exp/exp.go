@@ -1,0 +1,247 @@
+// Package exp is the evaluation harness: one driver per table/figure of
+// the paper's §VII, producing the same rows and series the paper reports.
+// Each driver is deterministic given its Config seed, and each has a
+// bench in the repository root regenerating it.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Fig6     edge single-model co-design vs baselines and prior tools
+//	Fig7     cloud-scale single-model co-design (EDP and delay)
+//	Fig8     single- vs multi-model vs generalization co-design
+//	Fig9     daBO_SW feature permutation importance per model
+//	Fig10    convergence over time for seven search algorithms
+//	Fig11    CDFs of hardware sample quality (derived from Fig10 runs)
+//	Surrogate   §VII-D surrogate accuracy (Spearman ρ, top-quintile hits)
+//	Discussion  §VII-C throughput/J and reuse vs hand-designed
+//	Timeloop    §VII-F rank agreement between the two analytical models
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/stats"
+	"spotlight/internal/workload"
+)
+
+// Config scales the experiments. The paper's settings are 100 hardware
+// samples, 100 software samples per layer, and 10 trials; the defaults
+// here are smaller so the full suite regenerates in minutes — pass
+// Paper() for the full-scale settings.
+type Config struct {
+	Scale     string // "edge" or "cloud"
+	Objective core.Objective
+	HWSamples int
+	SWSamples int
+	Trials    int
+	Seed      int64
+	Models    []string       // model names; empty means all five
+	Eval      core.Evaluator // cost model backend; nil means the primary model
+	// Parallel runs independent trials concurrently. Results are
+	// identical either way (each trial owns its seed); only wall-clock
+	// changes. The artifact appendix notes the paper's own runs were
+	// parallelized across a cluster the same way.
+	Parallel bool
+}
+
+// Default returns the scaled-down configuration used by tests and the
+// quick benchmark suite.
+func Default() Config {
+	return Config{
+		Scale:     "edge",
+		Objective: core.MinDelay,
+		HWSamples: 24,
+		SWSamples: 24,
+		Trials:    3,
+		Seed:      1,
+	}
+}
+
+// Paper returns the paper-scale configuration (§VII: 100/100 samples,
+// 10 trials).
+func Paper() Config {
+	c := Default()
+	c.HWSamples, c.SWSamples, c.Trials = 100, 100, 10
+	return c
+}
+
+// normalized fills defaults.
+func (c Config) normalized() Config {
+	if c.Scale == "" {
+		c.Scale = "edge"
+	}
+	if c.HWSamples <= 0 {
+		c.HWSamples = 24
+	}
+	if c.SWSamples <= 0 {
+		c.SWSamples = 24
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.Eval == nil {
+		c.Eval = maestro.New()
+	}
+	return c
+}
+
+// models resolves the configured model list.
+func (c Config) models() ([]workload.Model, error) {
+	if len(c.Models) == 0 {
+		return workload.Models(), nil
+	}
+	out := make([]workload.Model, 0, len(c.Models))
+	for _, name := range c.Models {
+		m, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// spaceAndBudget resolves the hardware space and budget for the scale.
+func (c Config) spaceAndBudget() (hw.Space, hw.Budget, error) {
+	switch c.Scale {
+	case "edge":
+		return hw.EdgeSpace(), hw.EdgeBudget(), nil
+	case "cloud":
+		return hw.CloudSpace(), hw.CloudBudget(), nil
+	}
+	return hw.Space{}, hw.Budget{}, fmt.Errorf("exp: unknown scale %q", c.Scale)
+}
+
+// runConfig builds the core.RunConfig for a set of models and a trial.
+func (c Config) runConfig(models []workload.Model, trial int) (core.RunConfig, error) {
+	space, budget, err := c.spaceAndBudget()
+	if err != nil {
+		return core.RunConfig{}, err
+	}
+	return core.RunConfig{
+		Models:    models,
+		Space:     space,
+		Budget:    budget,
+		Objective: c.Objective,
+		HWSamples: c.HWSamples,
+		SWSamples: c.SWSamples,
+		Seed:      c.Seed + int64(trial)*7919, // distinct, reproducible per trial
+		Eval:      c.Eval,
+	}, nil
+}
+
+// Row is one bar of a grouped bar chart: a (model, configuration) pair
+// with min/median/max over trials and the median normalized to
+// Spotlight's median, matching the CSV format of the paper's
+// compare-ae.sh script.
+type Row struct {
+	Model      string
+	Config     string
+	Min        float64
+	Median     float64
+	Max        float64
+	Normalized float64 // median / Spotlight's median for the same model
+}
+
+// normalizeRows fills the Normalized column against the named reference
+// configuration within each model group.
+func normalizeRows(rows []Row, reference string) {
+	ref := map[string]float64{}
+	for _, r := range rows {
+		if r.Config == reference {
+			ref[r.Model] = r.Median
+		}
+	}
+	for i := range rows {
+		if v, ok := ref[rows[i].Model]; ok && v != 0 {
+			rows[i].Normalized = rows[i].Median / v
+		}
+	}
+}
+
+// forTrials runs fn once per trial index, concurrently when Parallel is
+// set, and returns the first error encountered (lowest trial index
+// wins, for determinism).
+func (c Config) forTrials(fn func(trial int) error) error {
+	if !c.Parallel || c.Trials == 1 {
+		for t := 0; t < c.Trials; t++ {
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, c.Trials)
+	var wg sync.WaitGroup
+	for t := 0; t < c.Trials; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			errs[t] = fn(t)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trialObjectives runs a strategy for cfg.Trials independent trials on
+// the given models and returns the per-trial best objectives.
+func (c Config) trialObjectives(models []workload.Model, strat core.Strategy) ([]float64, error) {
+	out := make([]float64, c.Trials)
+	err := c.forTrials(func(t int) error {
+		rc, err := c.runConfig(models, t)
+		if err != nil {
+			return err
+		}
+		res, err := core.Run(rc, strat)
+		if err != nil {
+			return fmt.Errorf("exp: %s trial %d: %w", strat.Name(), t, err)
+		}
+		out[t] = res.Best.Objective
+		return nil
+	})
+	return out, err
+}
+
+// baselineObjectives evaluates a hand-designed baseline under the
+// layerwise software optimizer (daBO_SW within the baseline's dataflow
+// constraint), per §VII's methodology, for cfg.Trials trials.
+func (c Config) baselineObjectives(models []workload.Model, b hw.Baseline) ([]float64, error) {
+	out := make([]float64, c.Trials)
+	err := c.forTrials(func(t int) error {
+		rc, err := c.runConfig(models, t)
+		if err != nil {
+			return err
+		}
+		rc.SWConstraint = b.Constraint
+		design, err := core.OptimizeSoftware(rc, core.NewSpotlight(), b.Accel)
+		if err != nil {
+			return fmt.Errorf("exp: baseline %s trial %d: %w", b.Name, t, err)
+		}
+		out[t] = design.Objective
+		return nil
+	})
+	return out, err
+}
+
+// summaryRow converts per-trial objectives into a Row.
+func summaryRow(model, config string, objectives []float64) Row {
+	s := stats.Summarize(objectives)
+	return Row{Model: model, Config: config, Min: s.Min, Median: s.Median, Max: s.Max}
+}
+
+// rngFor returns a seeded generator derived from the config seed and a
+// stream label, keeping independent parts of an experiment decorrelated
+// but reproducible.
+func (c Config) rngFor(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + stream))
+}

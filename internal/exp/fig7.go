@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/workload"
+)
+
+// Fig7Result carries both halves of Figure 7: cloud-scale co-design
+// minimizing EDP (top graphs) and delay (bottom graphs), against the
+// scaled-up hand-designed accelerators. The prior tools are absent, as in
+// the paper ("they do not support cloud-scale accelerators
+// out-of-the-box").
+type Fig7Result struct {
+	EDP   []Row
+	Delay []Row
+}
+
+// Fig7 reproduces Figure 7. Per the paper, the only change from the edge
+// experiments is the parameter ranges — the feature space and BO
+// configuration are untouched.
+func Fig7(cfg Config) (Fig7Result, error) {
+	cfg = cfg.normalized()
+	cfg.Scale = "cloud"
+	var out Fig7Result
+	var err error
+	cfg.Objective = core.MinEDP
+	if out.EDP, err = fig7Half(cfg); err != nil {
+		return out, err
+	}
+	cfg.Objective = core.MinDelay
+	if out.Delay, err = fig7Half(cfg); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func fig7Half(cfg Config) ([]Row, error) {
+	models, err := cfg.models()
+	if err != nil {
+		return nil, err
+	}
+	baselines, err := hw.BaselinesFor(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, m := range models {
+		single := []workload.Model{m}
+		objs, err := cfg.trialObjectives(single, core.NewSpotlight())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, summaryRow(m.Name, "Spotlight", objs))
+		for _, b := range baselines {
+			objs, err := cfg.baselineObjectives(single, b)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, summaryRow(m.Name, b.Name, objs))
+		}
+	}
+	normalizeRows(rows, "Spotlight")
+	return rows, nil
+}

@@ -1,0 +1,210 @@
+// Package gp implements the Gaussian process surrogate model at the
+// heart of daBO (§V-A of the paper): a GP over feature vectors with a
+// choice of kernel. The paper's daBO uses a simple linear kernel — chosen
+// because the hand-designed features have linear trends and the linear
+// kernel avoids the overfitting and cost of Matérn/RBF — but the other
+// kernels are provided for the §VII-D kernel comparison.
+//
+// Inputs are standardized per feature and targets are standardized after
+// fitting, so callers can pass raw feature values and (log-)costs.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spotlight/internal/linalg"
+)
+
+// Kernel is a positive semi-definite covariance function over feature
+// vectors.
+type Kernel interface {
+	// Eval returns k(x, y).
+	Eval(x, y []float64) float64
+	// Name identifies the kernel in reports.
+	Name() string
+}
+
+// Linear is the paper's default kernel: k(x,y) = bias + x·y. It has O(N)
+// evaluation cost, matches feature spaces engineered for linear trends,
+// and resists overfitting on small sample budgets.
+type Linear struct {
+	Bias float64
+}
+
+// Eval implements Kernel.
+func (l Linear) Eval(x, y []float64) float64 { return l.Bias + linalg.Dot(x, y) }
+
+// Name implements Kernel.
+func (Linear) Name() string { return "linear" }
+
+// RBF is the radial basis function (squared exponential) kernel.
+type RBF struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (r RBF) Eval(x, y []float64) float64 {
+	d2 := sqDist(x, y)
+	return r.Variance * math.Exp(-d2/(2*r.LengthScale*r.LengthScale))
+}
+
+// Name implements Kernel.
+func (RBF) Name() string { return "rbf" }
+
+// Matern52 is the Matérn kernel with ν = 5/2, the common default in BO
+// libraries and the alternative evaluated in §VII-D.
+type Matern52 struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (m Matern52) Eval(x, y []float64) float64 {
+	d := math.Sqrt(sqDist(x, y)) / m.LengthScale
+	s5 := math.Sqrt(5)
+	return m.Variance * (1 + s5*d + 5*d*d/3) * math.Exp(-s5*d)
+}
+
+// Name implements Kernel.
+func (Matern52) Name() string { return "matern52" }
+
+func sqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("gp: dimension mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// GP is a Gaussian process regressor. The zero value is unusable; use New.
+type GP struct {
+	kernel Kernel
+	noise  float64
+
+	xs    [][]float64 // standardized training inputs
+	ys    []float64   // standardized training targets
+	chol  *linalg.Cholesky
+	alpha []float64
+
+	xMean, xStd []float64
+	yMean, yStd float64
+	fitted      bool
+}
+
+// New returns a GP with the given kernel and observation noise variance
+// (added to the kernel diagonal; must be positive for stability).
+func New(k Kernel, noise float64) *GP {
+	if noise <= 0 {
+		noise = 1e-6
+	}
+	return &GP{kernel: k, noise: noise}
+}
+
+// Kernel returns the GP's kernel.
+func (g *GP) Kernel() Kernel { return g.kernel }
+
+// ErrNoData is returned when Fit is called with no observations or when
+// Predict is called before a successful Fit.
+var ErrNoData = errors.New("gp: no training data")
+
+// Fit trains the GP on the observations. X rows are feature vectors and y
+// the corresponding targets. Both are standardized internally; constant
+// features and constant targets are handled by clamping their scale to 1.
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
+	}
+	dim := len(x[0])
+	g.xMean = make([]float64, dim)
+	g.xStd = make([]float64, dim)
+	col := make([]float64, len(x))
+	for j := 0; j < dim; j++ {
+		for i := range x {
+			col[i] = x[i][j]
+		}
+		g.xMean[j] = linalg.Mean(col)
+		g.xStd[j] = linalg.StdDev(col)
+		if g.xStd[j] == 0 {
+			g.xStd[j] = 1
+		}
+	}
+	g.yMean = linalg.Mean(y)
+	g.yStd = linalg.StdDev(y)
+	if g.yStd == 0 {
+		g.yStd = 1
+	}
+
+	g.xs = make([][]float64, len(x))
+	for i, row := range x {
+		g.xs[i] = g.standardize(row)
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - g.yMean) / g.yStd
+	}
+	g.ys = ys
+
+	n := len(g.xs)
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel.Eval(g.xs[i], g.xs[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+g.noise)
+	}
+	chol, err := linalg.NewCholesky(k)
+	if err != nil {
+		return fmt.Errorf("gp: kernel matrix factorization failed: %w", err)
+	}
+	g.chol = chol
+	g.alpha = chol.SolveVec(ys)
+	g.fitted = true
+	return nil
+}
+
+func (g *GP) standardize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = (x[i] - g.xMean[i]) / g.xStd[i]
+	}
+	return out
+}
+
+// Predict returns the posterior mean and standard deviation at x, in the
+// original target units. It returns ErrNoData before a successful Fit.
+func (g *GP) Predict(x []float64) (mean, std float64, err error) {
+	if !g.fitted {
+		return 0, 0, ErrNoData
+	}
+	if len(x) != len(g.xMean) {
+		return 0, 0, fmt.Errorf("gp: input has %d features, trained on %d", len(x), len(g.xMean))
+	}
+	xs := g.standardize(x)
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i := range g.xs {
+		kstar[i] = g.kernel.Eval(xs, g.xs[i])
+	}
+	mu := linalg.Dot(kstar, g.alpha)
+	v := g.chol.SolveVec(kstar)
+	variance := g.kernel.Eval(xs, xs) + g.noise - linalg.Dot(kstar, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mu*g.yStd + g.yMean, math.Sqrt(variance) * g.yStd, nil
+}
+
+// LCB returns the Lower Confidence Bound acquisition value for a
+// minimization problem: mean − kappa·std. daBO evaluates a batch of
+// candidates on the surrogate and selects the candidate with the lowest
+// LCB (§V-B; the paper phrases this as maximizing the acquisition).
+func LCB(mean, std, kappa float64) float64 { return mean - kappa*std }

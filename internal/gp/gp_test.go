@@ -1,0 +1,223 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearKernelRecoversLinearFunction(t *testing.T) {
+	// y = 3x0 - 2x1 + 5 is exactly representable: predictions at held-out
+	// points should be close.
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	f := func(x []float64) float64 { return 3*x[0] - 2*x[1] + 5 }
+	for i := 0; i < 40; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	g := New(Linear{Bias: 1}, 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		mean, _, err := g.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-f(x)) > 0.05*(1+math.Abs(f(x))) {
+			t.Fatalf("linear GP off at %v: got %v, want %v", x, mean, f(x))
+		}
+	}
+}
+
+func TestRBFInterpolatesTrainingPoints(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {3}}
+	ys := []float64{1, 3, 2, 5}
+	g := New(RBF{LengthScale: 1, Variance: 1}, 1e-8)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mean, std, err := g.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-ys[i]) > 0.05 {
+			t.Fatalf("RBF GP does not interpolate: f(%v) = %v, want %v", x, mean, ys[i])
+		}
+		if std > 0.5 {
+			t.Fatalf("high uncertainty at training point: %v", std)
+		}
+	}
+}
+
+func TestUncertaintyGrowsAwayFromData(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{0, 0.25, 1}
+	g := New(RBF{LengthScale: 0.5, Variance: 1}, 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	_, stdNear, _ := g.Predict([]float64{0.5})
+	_, stdFar, _ := g.Predict([]float64{10})
+	if stdFar <= stdNear {
+		t.Fatalf("uncertainty did not grow away from data: near %v, far %v", stdNear, stdFar)
+	}
+}
+
+func TestMatern52Properties(t *testing.T) {
+	k := Matern52{LengthScale: 1, Variance: 2}
+	if v := k.Eval([]float64{1, 2}, []float64{1, 2}); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("Matern at zero distance = %v, want variance 2", v)
+	}
+	// Decreasing in distance.
+	prev := math.Inf(1)
+	for d := 0.0; d < 5; d += 0.5 {
+		v := k.Eval([]float64{0}, []float64{d})
+		if v > prev {
+			t.Fatalf("Matern not decreasing at distance %v", d)
+		}
+		prev = v
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	if (Linear{}).Name() != "linear" || (RBF{}).Name() != "rbf" || (Matern52{}).Name() != "matern52" {
+		t.Fatal("unexpected kernel names")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	g := New(Linear{Bias: 1}, 1e-6)
+	if _, _, err := g.Predict([]float64{1}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("expected ErrNoData, got %v", err)
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	g := New(Linear{Bias: 1}, 1e-6)
+	if err := g.Fit(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("expected ErrNoData, got %v", err)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	g := New(Linear{Bias: 1}, 1e-6)
+	if err := g.Fit([][]float64{{1, 2}}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Predict([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestConstantTargetsHandled(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}}
+	ys := []float64{7, 7, 7}
+	g := New(RBF{LengthScale: 1, Variance: 1}, 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	mean, _, err := g.Predict([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-7) > 0.1 {
+		t.Fatalf("constant-target prediction = %v, want ~7", mean)
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	xs := [][]float64{{1, 0}, {1, 1}, {1, 2}}
+	ys := []float64{0, 1, 2}
+	g := New(Linear{Bias: 1}, 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatalf("constant feature broke fit: %v", err)
+	}
+	mean, _, err := g.Predict([]float64{1, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-1.5) > 0.1 {
+		t.Fatalf("prediction = %v, want ~1.5", mean)
+	}
+}
+
+func TestLCB(t *testing.T) {
+	if LCB(10, 2, 1.5) != 7 {
+		t.Fatalf("LCB = %v, want 7", LCB(10, 2, 1.5))
+	}
+	if LCB(10, 2, 0) != 10 {
+		t.Fatal("kappa=0 LCB should equal the mean")
+	}
+}
+
+// Property: predictions are invariant to the order of training samples.
+func TestFitOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			ys[i] = xs[i][0]*xs[i][0] + rng.NormFloat64()*0.01
+		}
+		g1 := New(RBF{LengthScale: 1, Variance: 1}, 1e-4)
+		if err := g1.Fit(xs, ys); err != nil {
+			return false
+		}
+		// Reversed order.
+		rx := make([][]float64, n)
+		ry := make([]float64, n)
+		for i := range xs {
+			rx[i] = xs[n-1-i]
+			ry[i] = ys[n-1-i]
+		}
+		g2 := New(RBF{LengthScale: 1, Variance: 1}, 1e-4)
+		if err := g2.Fit(rx, ry); err != nil {
+			return false
+		}
+		probe := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		m1, s1, _ := g1.Predict(probe)
+		m2, s2, _ := g2.Predict(probe)
+		return math.Abs(m1-m2) < 1e-6 && math.Abs(s1-s2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: posterior std is never negative and never NaN.
+func TestStdNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = []float64{rng.NormFloat64() * 5}
+			ys[i] = rng.NormFloat64()
+		}
+		g := New(Matern52{LengthScale: 1, Variance: 1}, 1e-5)
+		if err := g.Fit(xs, ys); err != nil {
+			return true // jitter exhaustion is acceptable, not a std bug
+		}
+		for i := 0; i < 10; i++ {
+			_, std, err := g.Predict([]float64{rng.NormFloat64() * 10})
+			if err != nil || std < 0 || math.IsNaN(std) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

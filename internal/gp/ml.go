@@ -1,0 +1,70 @@
+package gp
+
+import (
+	"math"
+
+	"spotlight/internal/linalg"
+)
+
+// LogMarginalLikelihood returns the log marginal likelihood of the
+// training data under the fitted GP (in standardized-target units):
+//
+//	log p(y|X) = −½ yᵀK⁻¹y − ½ log|K| − n/2·log(2π)
+//
+// Higher is better. It returns ErrNoData before a successful Fit.
+func (g *GP) LogMarginalLikelihood() (float64, error) {
+	if !g.fitted {
+		return 0, ErrNoData
+	}
+	n := float64(len(g.xs))
+	return -0.5*linalg.Dot(g.ys, g.alpha) - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi), nil
+}
+
+// KernelFactory builds a kernel from a length-scale hyperparameter, for
+// SelectLengthScale. Linear kernels have no length scale; this is for the
+// RBF/Matérn alternatives of §VII-D.
+type KernelFactory func(lengthScale float64) Kernel
+
+// RBFFactory builds unit-variance RBF kernels.
+func RBFFactory(lengthScale float64) Kernel { return RBF{LengthScale: lengthScale, Variance: 1} }
+
+// Matern52Factory builds unit-variance Matérn-5/2 kernels.
+func Matern52Factory(lengthScale float64) Kernel {
+	return Matern52{LengthScale: lengthScale, Variance: 1}
+}
+
+// DefaultLengthScales is a log-spaced grid that covers standardized
+// feature spaces well.
+func DefaultLengthScales() []float64 {
+	return []float64{0.1, 0.25, 0.5, 1, 2, 4, 8}
+}
+
+// SelectLengthScale fits one GP per candidate length scale and returns
+// the fitted GP maximizing the log marginal likelihood, along with the
+// chosen scale. Candidates whose kernel matrix cannot be factorized are
+// skipped; ErrNoData is returned if none survive.
+func SelectLengthScale(factory KernelFactory, noise float64, x [][]float64, y []float64, scales []float64) (*GP, float64, error) {
+	if len(scales) == 0 {
+		scales = DefaultLengthScales()
+	}
+	var best *GP
+	bestScale := 0.0
+	bestML := math.Inf(-1)
+	for _, ls := range scales {
+		g := New(factory(ls), noise)
+		if err := g.Fit(x, y); err != nil {
+			continue
+		}
+		ml, err := g.LogMarginalLikelihood()
+		if err != nil {
+			continue
+		}
+		if ml > bestML {
+			best, bestScale, bestML = g, ls, ml
+		}
+	}
+	if best == nil {
+		return nil, 0, ErrNoData
+	}
+	return best, bestScale, nil
+}

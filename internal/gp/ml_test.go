@@ -1,0 +1,102 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLogMarginalLikelihoodBeforeFit(t *testing.T) {
+	g := New(Linear{Bias: 1}, 1e-6)
+	if _, err := g.LogMarginalLikelihood(); !errors.Is(err, ErrNoData) {
+		t.Fatalf("expected ErrNoData, got %v", err)
+	}
+}
+
+func TestLogMarginalLikelihoodFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 30; i++ {
+		v := rng.NormFloat64()
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v))
+	}
+	g := New(RBF{LengthScale: 1, Variance: 1}, 1e-4)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ml, err := g.LogMarginalLikelihood()
+	if err != nil || math.IsNaN(ml) || math.IsInf(ml, 0) {
+		t.Fatalf("bad LML: %v, %v", ml, err)
+	}
+}
+
+func TestLMLPrefersMatchingLengthScale(t *testing.T) {
+	// Data drawn from a smooth, wide function: a tiny length scale
+	// (pure interpolation noise) must score worse than a well-matched one.
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		v := rng.Float64()*6 - 3
+		x = append(x, []float64{v})
+		y = append(y, v*v)
+	}
+	lml := func(ls float64) float64 {
+		g := New(RBF{LengthScale: ls, Variance: 1}, 1e-3)
+		if err := g.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		v, err := g.LogMarginalLikelihood()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if lml(1) <= lml(0.01) {
+		t.Fatalf("matched scale LML %v not above mismatched %v", lml(1), lml(0.01))
+	}
+}
+
+func TestSelectLengthScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		v := rng.Float64()*4 - 2
+		x = append(x, []float64{v})
+		y = append(y, math.Cos(v))
+	}
+	g, scale, err := SelectLengthScale(RBFFactory, 1e-4, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || scale <= 0 {
+		t.Fatalf("no model selected: scale=%v", scale)
+	}
+	// The selected model must predict the training function reasonably.
+	mean, _, err := g.Predict([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-1) > 0.3 {
+		t.Fatalf("selected GP predicts cos(0) = %v", mean)
+	}
+}
+
+func TestSelectLengthScaleNoData(t *testing.T) {
+	if _, _, err := SelectLengthScale(Matern52Factory, 1e-4, nil, nil, nil); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestFactories(t *testing.T) {
+	if RBFFactory(2).Name() != "rbf" || Matern52Factory(2).Name() != "matern52" {
+		t.Fatal("factory kernels mislabeled")
+	}
+	if len(DefaultLengthScales()) == 0 {
+		t.Fatal("no default scales")
+	}
+}

@@ -1,0 +1,117 @@
+// Package hw defines the hardware half of the co-design space: the
+// abstract DL accelerator microarchitecture of Figure 2 of the paper (a
+// 2-D spatial array of SIMD processing elements under a global L2
+// scratchpad, with per-PE register files and a uni-/multi-cast on-chip
+// interconnect), the area and power model used for budget constraints,
+// the edge- and cloud-scale parameter spaces of Figure 3, and the three
+// hand-designed baseline accelerators (Eyeriss-like, NVDLA-like,
+// MAERI-like).
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accel is one point in the hardware design space: the microarchitectural
+// parameters of §IV-A1 of the paper. Precision is fixed at 8 bits, so all
+// byte quantities equal element counts.
+type Accel struct {
+	PEs       int // total number of processing elements
+	Width     int // PE array width (columns); must divide PEs
+	SIMDLanes int // MAC lanes per PE
+	RFKB      int // total register-file capacity across all PEs, KB
+	L2KB      int // global scratchpad capacity, KB
+	NoCBW     int // on-chip interconnect bandwidth, bytes/cycle
+}
+
+// Height returns the PE array height (rows of clusters): PEs / Width.
+func (a Accel) Height() int { return a.PEs / a.Width }
+
+// RFBytesPerPE returns the register-file capacity of a single PE in bytes.
+func (a Accel) RFBytesPerPE() int64 { return int64(a.RFKB) << 10 / int64(a.PEs) }
+
+// L2Bytes returns the global scratchpad capacity in bytes.
+func (a Accel) L2Bytes() int64 { return int64(a.L2KB) << 10 }
+
+// Validate reports an error when the configuration is structurally
+// impossible (as opposed to merely over budget).
+func (a Accel) Validate() error {
+	if a.PEs <= 0 || a.Width <= 0 || a.SIMDLanes <= 0 || a.RFKB <= 0 || a.L2KB <= 0 || a.NoCBW <= 0 {
+		return fmt.Errorf("hw: non-positive parameter in %+v", a)
+	}
+	if a.PEs%a.Width != 0 {
+		return fmt.Errorf("hw: width %d does not divide PE count %d", a.Width, a.PEs)
+	}
+	if a.RFBytesPerPE() < 1 {
+		return fmt.Errorf("hw: register file too small: %d KB across %d PEs", a.RFKB, a.PEs)
+	}
+	return nil
+}
+
+// String renders the configuration compactly.
+func (a Accel) String() string {
+	return fmt.Sprintf("PEs=%d(%dx%d) SIMD=%d RF=%dKB L2=%dKB BW=%dB/cy",
+		a.PEs, a.Height(), a.Width, a.SIMDLanes, a.RFKB, a.L2KB, a.NoCBW)
+}
+
+// Area and power coefficients for the analytical cost model, loosely
+// calibrated to published edge accelerators at a 28nm-class node. Only
+// relative magnitudes matter: they set the exchange rate between compute,
+// register files, scratchpad, and interconnect that the budget constraint
+// trades against.
+const (
+	areaPerLaneMM2  = 0.0006 // one 8-bit MAC lane
+	areaPerPEMM2    = 0.0015 // PE control overhead
+	areaPerRFKBMM2  = 0.09   // register files (small, multi-ported)
+	areaPerL2KBMM2  = 0.045  // scratchpad SRAM (denser banks)
+	areaPerBWMM2    = 0.004  // interconnect wiring per byte/cycle
+	powerPerLaneMW  = 0.25   // peak dynamic power per active lane
+	powerPerRFKBMW  = 0.06
+	powerPerL2KBMW  = 0.03
+	powerPerBWMW    = 0.12
+	leakagePerMM2MW = 0.35
+)
+
+// AreaMM2 returns the modeled silicon area of the configuration in mm².
+func (a Accel) AreaMM2() float64 {
+	return float64(a.PEs)*(areaPerPEMM2+float64(a.SIMDLanes)*areaPerLaneMM2) +
+		float64(a.RFKB)*areaPerRFKBMM2 +
+		float64(a.L2KB)*areaPerL2KBMM2 +
+		float64(a.NoCBW)*areaPerBWMM2*math.Sqrt(float64(a.Height()+a.Width))
+}
+
+// PeakPowerMW returns the modeled peak power of the configuration in mW,
+// including leakage proportional to area.
+func (a Accel) PeakPowerMW() float64 {
+	dynamic := float64(a.PEs*a.SIMDLanes)*powerPerLaneMW +
+		float64(a.RFKB)*powerPerRFKBMW +
+		float64(a.L2KB)*powerPerL2KBMW +
+		float64(a.NoCBW)*powerPerBWMW
+	return dynamic + a.AreaMM2()*leakagePerMM2MW
+}
+
+// Budget caps the area and peak power of acceptable designs. Spotlight
+// takes a budget as input (§VI) and discards configurations that exceed
+// it; hand-designed baselines are scaled to fit the same budget for a
+// fair comparison (§VII).
+type Budget struct {
+	AreaMM2 float64
+	PowerMW float64
+}
+
+// Fits reports whether the configuration is within budget.
+func (b Budget) Fits(a Accel) bool {
+	return a.AreaMM2() <= b.AreaMM2 && a.PeakPowerMW() <= b.PowerMW
+}
+
+// Check returns a descriptive error when a exceeds the budget.
+func (b Budget) Check(a Accel) error {
+	if area := a.AreaMM2(); area > b.AreaMM2 {
+		return fmt.Errorf("hw: area %.2f mm² exceeds budget %.2f mm²", area, b.AreaMM2)
+	}
+	if p := a.PeakPowerMW(); p > b.PowerMW {
+		return fmt.Errorf("hw: power %.1f mW exceeds budget %.1f mW", p, b.PowerMW)
+	}
+	return nil
+}

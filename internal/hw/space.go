@@ -1,0 +1,136 @@
+package hw
+
+import (
+	"math/rand"
+
+	"spotlight/internal/sched"
+)
+
+// Space describes the range of each hardware parameter (Figure 3 of the
+// paper). PE count, SIMD lanes, and bandwidth are cardinal; register-file
+// and scratchpad capacities are ordinal with a stride; the PE aspect
+// ratio is ordinal over the divisors of the PE count.
+type Space struct {
+	Name                       string
+	PEMin, PEMax               int
+	SIMDMin, SIMDMax           int
+	BWMin, BWMax               int
+	RFMinKB, RFMaxKB, RFStride int
+	L2MinKB, L2MaxKB, L2Stride int
+}
+
+// EdgeSpace returns the edge-scale parameter ranges of Figure 3:
+// 128-300 PEs, 2-16 SIMD lanes, 64-256 B/cycle bandwidth, and 64-256 KB
+// scratchpad and register-file capacities with an 8 KB stride.
+func EdgeSpace() Space {
+	return Space{
+		Name:  "edge",
+		PEMin: 128, PEMax: 300,
+		SIMDMin: 2, SIMDMax: 16,
+		BWMin: 64, BWMax: 256,
+		RFMinKB: 64, RFMaxKB: 256, RFStride: 8,
+		L2MinKB: 64, L2MaxKB: 256, L2Stride: 8,
+	}
+}
+
+// CloudSpace returns the cloud-scale ranges used in §VII-A (Figure 7).
+// The paper emphasizes that moving Spotlight to the cloud setting only
+// changes these ranges — nothing else in the tool.
+func CloudSpace() Space {
+	return Space{
+		Name:  "cloud",
+		PEMin: 2048, PEMax: 16384,
+		SIMDMin: 2, SIMDMax: 16,
+		BWMin: 256, BWMax: 2048,
+		RFMinKB: 1024, RFMaxKB: 8192, RFStride: 128,
+		L2MinKB: 2048, L2MaxKB: 16384, L2Stride: 128,
+	}
+}
+
+// EdgeBudget returns the area/power envelope used for edge-scale designs.
+// It is sized so that the hand-designed edge baselines fit and the upper
+// corner of the edge space does not, making the budget constraint active.
+func EdgeBudget() Budget { return Budget{AreaMM2: 32, PowerMW: 1200} }
+
+// CloudBudget returns the envelope for cloud-scale designs.
+func CloudBudget() Budget { return Budget{AreaMM2: 700, PowerMW: 40000} }
+
+// Random samples a configuration uniformly from the space. The aspect
+// ratio (Width) is drawn uniformly from the divisors of the sampled PE
+// count, per Figure 3b.
+func (s Space) Random(rng *rand.Rand) Accel {
+	pes := s.PEMin + rng.Intn(s.PEMax-s.PEMin+1)
+	divs := sched.Divisors(pes)
+	return Accel{
+		PEs:       pes,
+		Width:     divs[rng.Intn(len(divs))],
+		SIMDLanes: s.SIMDMin + rng.Intn(s.SIMDMax-s.SIMDMin+1),
+		RFKB:      randStrided(rng, s.RFMinKB, s.RFMaxKB, s.RFStride),
+		L2KB:      randStrided(rng, s.L2MinKB, s.L2MaxKB, s.L2Stride),
+		NoCBW:     s.BWMin + rng.Intn(s.BWMax-s.BWMin+1),
+	}
+}
+
+func randStrided(rng *rand.Rand, lo, hi, stride int) int {
+	steps := (hi-lo)/stride + 1
+	return lo + rng.Intn(steps)*stride
+}
+
+// Contains reports whether a lies within the space's ranges (ignoring
+// stride alignment, which only matters for sampling).
+func (s Space) Contains(a Accel) bool {
+	return a.PEs >= s.PEMin && a.PEs <= s.PEMax &&
+		a.SIMDLanes >= s.SIMDMin && a.SIMDLanes <= s.SIMDMax &&
+		a.NoCBW >= s.BWMin && a.NoCBW <= s.BWMax &&
+		a.RFKB >= s.RFMinKB && a.RFKB <= s.RFMaxKB &&
+		a.L2KB >= s.L2MinKB && a.L2KB <= s.L2MaxKB &&
+		a.PEs%a.Width == 0
+}
+
+// Neighbor perturbs one hardware parameter of a within the space,
+// used by the genetic-algorithm baseline's mutation operator.
+func (s Space) Neighbor(rng *rand.Rand, a Accel) Accel {
+	out := a
+	switch rng.Intn(6) {
+	case 0:
+		out.PEs = s.PEMin + rng.Intn(s.PEMax-s.PEMin+1)
+		out.Width = randDivisor(rng, out.PEs)
+	case 1:
+		out.Width = randDivisor(rng, out.PEs)
+	case 2:
+		out.SIMDLanes = s.SIMDMin + rng.Intn(s.SIMDMax-s.SIMDMin+1)
+	case 3:
+		out.RFKB = randStrided(rng, s.RFMinKB, s.RFMaxKB, s.RFStride)
+	case 4:
+		out.L2KB = randStrided(rng, s.L2MinKB, s.L2MaxKB, s.L2Stride)
+	case 5:
+		out.NoCBW = s.BWMin + rng.Intn(s.BWMax-s.BWMin+1)
+	}
+	return out
+}
+
+// Crossover mixes two configurations parameter-wise.
+func Crossover(rng *rand.Rand, a, b Accel) Accel {
+	out := a
+	if rng.Intn(2) == 0 {
+		out.PEs, out.Width = b.PEs, b.Width
+	}
+	if rng.Intn(2) == 0 {
+		out.SIMDLanes = b.SIMDLanes
+	}
+	if rng.Intn(2) == 0 {
+		out.RFKB = b.RFKB
+	}
+	if rng.Intn(2) == 0 {
+		out.L2KB = b.L2KB
+	}
+	if rng.Intn(2) == 0 {
+		out.NoCBW = b.NoCBW
+	}
+	return out
+}
+
+func randDivisor(rng *rand.Rand, n int) int {
+	divs := sched.Divisors(n)
+	return divs[rng.Intn(len(divs))]
+}

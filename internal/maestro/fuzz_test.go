@@ -1,0 +1,69 @@
+package maestro
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spotlight/internal/hw"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// FuzzEvaluate drives the analytical model with arbitrary (bounded)
+// layers and seeded-random schedules: every outcome must be either a
+// wrapped ErrInvalid or a finite, positive cost.
+func FuzzEvaluate(f *testing.F) {
+	f.Add(int64(1), 16, 8, 3, 12)
+	f.Add(int64(2), 64, 32, 1, 8)
+	f.Add(int64(3), 1, 1, 1, 1)
+	f.Fuzz(func(t *testing.T, seed int64, k, c, rs, xy int) {
+		k = bound(k, 1, 256)
+		c = bound(c, 1, 256)
+		rs = bound(rs, 1, 7)
+		xy = bound(xy, rs, 64)
+		l := workload.Conv("fuzz", 1, k, c, rs, rs, xy, xy)
+		if l.Validate() != nil {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := hw.EdgeSpace().Random(rng)
+		s := sched.Free().Random(rng, l, a.RFBytesPerPE(), a.L2Bytes())
+		m := New()
+		cost, err := m.Evaluate(a, s, l)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("non-ErrInvalid failure: %v", err)
+			}
+			return
+		}
+		for name, v := range map[string]float64{
+			"delay":  cost.DelayCycles,
+			"energy": cost.EnergyNJ,
+			"dram":   cost.DRAMBytes,
+			"noc":    cost.NoCBytes,
+			"power":  cost.PowerMW,
+		} {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s = %v for %s on %s", name, v, l, a)
+			}
+		}
+		if cost.Utilization <= 0 || cost.Utilization > 1 {
+			t.Fatalf("utilization = %v", cost.Utilization)
+		}
+	})
+}
+
+func bound(v, lo, hi int) int {
+	if v < 0 {
+		v = -v
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return lo + v%(hi-lo+1)
+	}
+	return v
+}

@@ -1,0 +1,385 @@
+// Package maestro implements the primary analytical cost model that
+// Spotlight uses to evaluate candidate designs, playing the role MAESTRO
+// (Kwon et al., IEEE Micro 2020) plays in the paper. Given an accelerator
+// configuration, a software schedule, and a CONV layer, it reports delay,
+// energy, EDP, area, power, utilization, and data-movement statistics.
+//
+// The model is a data-centric loop-nest analysis of the two-level
+// accelerator of Figure 2:
+//
+//   - The DRAM-level loops step L2 tiles (T2) in the schedule's outer
+//     order; the loop over the outer-unrolled dimension is distributed
+//     across the rows of the PE array.
+//   - The L2-level loops step RF tiles (T1) in the inner order; the loop
+//     over the inner-unrolled dimension is distributed across the columns
+//     of each row, fed by the row's dedicated uni-/multi-cast bus.
+//   - Tensors are refetched according to the classic stationarity rule:
+//     a tile stays resident while only loops the tensor does not depend
+//     on iterate below its innermost dependent loop.
+//
+// Schedules whose tiles overflow the register file or scratchpad are
+// invalid — these are the "large and unpredictable invalid regions" of
+// the co-design space that §IV of the paper highlights; Evaluate returns
+// an error for them rather than a cost.
+package maestro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spotlight/internal/hw"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// Cost is the evaluation of one (accelerator, schedule, layer) triple.
+// Cycle counts assume a 1 GHz clock, so pJ/cycle equals mW.
+type Cost struct {
+	DelayCycles float64 // end-to-end layer delay
+	EnergyNJ    float64 // total energy, nJ
+	AreaMM2     float64
+	PowerMW     float64 // average power while running
+	Utilization float64 // time-averaged fraction of PEs doing useful work
+
+	ComputeCycles float64 // cycles if never stalled
+	DRAMCycles    float64 // cycles implied by DRAM traffic alone
+	NoCCycles     float64 // cycles implied by on-chip traffic alone
+
+	DRAMBytes float64 // total off-chip traffic
+	NoCBytes  float64 // total L2→RF traffic across all rows
+	L2Bytes   float64 // total scratchpad accesses
+	RFBytes   float64 // total register-file accesses
+
+	// Per-tensor DRAM traffic breakdown (sums to DRAMBytes).
+	DRAMInputBytes  float64
+	DRAMWeightBytes float64
+	DRAMOutputBytes float64
+
+	// Reads-per-fill reuse metrics for the §VII-C discussion: how many
+	// times each byte delivered into a level is consumed before being
+	// replaced.
+	RFInputReuse float64
+	L2InputReuse float64
+}
+
+// EDP returns the energy-delay product in nJ·cycles, the paper's primary
+// comparison metric.
+func (c Cost) EDP() float64 { return c.EnergyNJ * c.DelayCycles }
+
+// ThroughputPerJoule returns useful MACs per nJ, used by the §VII-C
+// throughput-per-Joule comparison.
+func (c Cost) ThroughputPerJoule(macs int64) float64 {
+	if c.EnergyNJ == 0 {
+		return 0
+	}
+	return float64(macs) / c.EnergyNJ
+}
+
+// ErrInvalid is wrapped by all validity errors returned from Evaluate, so
+// searchers can distinguish "this design point is outside the feasible
+// region" from programming errors.
+var ErrInvalid = errors.New("maestro: invalid configuration")
+
+// Energy and bandwidth coefficients (pJ per byte / per MAC at 8-bit
+// precision, 1 GHz). Relative magnitudes follow the usual storage
+// hierarchy: DRAM ≫ scratchpad ≫ register file ≈ MAC.
+const (
+	eDRAMPerByte  = 200.0
+	eL2BasePJ     = 6.0 // at the 128 KB reference size, scaled by sqrt
+	eRFPerByte    = 1.0
+	eMACPerOp     = 0.2
+	eNoCBase      = 0.2  // per byte entering a row bus
+	eNoCPerColumn = 0.02 // wire length term
+	leakPerMM2    = 0.05 // pJ per cycle per mm²
+	rampCycles    = 1.0  // pipeline fill per array diagonal step
+)
+
+// Model is the MAESTRO-like evaluator. The zero value is not usable; use
+// New. DRAM bandwidth scales with the on-chip interconnect width, so
+// cloud-scale parts see proportionally faster memory systems.
+type Model struct{}
+
+// New returns the evaluator.
+func New() *Model { return &Model{} }
+
+// Name identifies the model in cross-validation reports (§VII-F).
+func (*Model) Name() string { return "maestro" }
+
+// dependence sets of the three tensors over the seven loop dimensions.
+var (
+	depInput  = dimSet(workload.DimN, workload.DimC, workload.DimX, workload.DimY, workload.DimR, workload.DimS)
+	depWeight = dimSet(workload.DimK, workload.DimC, workload.DimR, workload.DimS)
+	depOutput = dimSet(workload.DimN, workload.DimK, workload.DimX, workload.DimY)
+)
+
+func dimSet(ds ...workload.Dim) [workload.NumDims]bool {
+	var s [workload.NumDims]bool
+	for _, d := range ds {
+		s[d] = true
+	}
+	return s
+}
+
+// Evaluate runs the analytical model. It returns an error wrapping
+// ErrInvalid when the schedule's tiles overflow the register file or
+// scratchpad, or when inputs are structurally invalid.
+func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, error) {
+	if err := a.Validate(); err != nil {
+		return Cost{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := l.Validate(); err != nil {
+		return Cost{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := s.Validate(l); err != nil {
+		return Cost{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+
+	h, w := a.Height(), a.Width
+	n2 := s.OuterTrips(l)
+	n1 := s.InnerTrips(l)
+	uo, ui := s.OuterUnroll, s.InnerUnroll
+
+	// --- Capacity validity -------------------------------------------------
+	// Each PE's register file holds one T1 tile working set; the global
+	// scratchpad holds one T2 tile working set (both spatial unrolls
+	// distribute L2-level loops, so the rows and columns all consume from
+	// the same resident T2 tile).
+	rfNeed := sched.TileFootprint(l, s.T1)
+	if rfNeed > a.RFBytesPerPE() {
+		return Cost{}, fmt.Errorf("%w: RF tile needs %d B, PE register file holds %d B",
+			ErrInvalid, rfNeed, a.RFBytesPerPE())
+	}
+	l2Need := sched.TileFootprint(l, s.T2)
+	if l2Need > a.L2Bytes() {
+		return Cost{}, fmt.Errorf("%w: L2 working set needs %d B, scratchpad holds %d B",
+			ErrInvalid, l2Need, a.L2Bytes())
+	}
+
+	// --- Iteration structure ----------------------------------------------
+	// DRAM-level loops are purely temporal; the L2-level loop over the
+	// outer-unrolled dimension is distributed across the h rows and the
+	// loop over the inner-unrolled dimension across the w columns. When
+	// both unrolls name the same dimension, its subtiles spread over the
+	// whole h×w array.
+	innerTemporal := n1
+	var lanes spatialLanes
+	if uo == ui {
+		lanes = combinedLanes(n1[uo], h, w)
+		innerTemporal[uo] = ceilDiv(n1[uo], h*w)
+	} else {
+		lanes = spatialLanes{rows: minInt(h, n1[uo]), cols: minInt(w, n1[ui])}
+		innerTemporal[uo] = ceilDiv(n1[uo], h)
+		innerTemporal[ui] = ceilDiv(n1[ui], w)
+	}
+
+	outerIters := prod(n2)
+	innerIters := prod(innerTemporal)
+
+	macsPerT1 := int64(1)
+	for i := range workload.AllDims {
+		macsPerT1 *= int64(s.T1[i])
+	}
+	cyclesPerT1 := float64(ceilDiv64(macsPerT1, int64(a.SIMDLanes)))
+	computeCycles := outerIters * innerIters * cyclesPerT1
+
+	// --- DRAM traffic -------------------------------------------------------
+	inBytes2 := inputTileBytes(l, s.T2)
+	wBytes2 := weightTileBytes(s.T2)
+	outBytes2 := outputTileBytes(s.T2)
+
+	fillsIn2 := fills(s.OuterOrder, n2, depInput)
+	fillsW2 := fills(s.OuterOrder, n2, depWeight)
+	fillsOut2 := fills(s.OuterOrder, n2, depOutput)
+	distinctOut2 := distinctTiles(n2, depOutput)
+
+	dramIn := fillsIn2 * inBytes2
+	dramW := fillsW2 * wBytes2
+	// Outputs: every fill is eventually written back; refetches beyond the
+	// first visit also read the partial sums back in.
+	dramOut := fillsOut2*outBytes2 + (fillsOut2-distinctOut2)*outBytes2
+	dramBytes := dramIn + dramW + dramOut
+
+	// --- NoC (L2→RF) traffic ------------------------------------------------
+	// Temporal fills follow the stationarity rule over the inner order;
+	// each fill moves one T1 tile per spatially distinct copy. Tensors
+	// independent of an unrolled dimension are multicast along it (one
+	// copy serves the whole row or column).
+	inBytes1 := inputTileBytes(l, s.T1)
+	wBytes1 := weightTileBytes(s.T1)
+	outBytes1 := outputTileBytes(s.T1)
+
+	fillsIn1 := fills(s.InnerOrder, innerTemporal, depInput)
+	fillsW1 := fills(s.InnerOrder, innerTemporal, depWeight)
+	fillsOut1 := fills(s.InnerOrder, innerTemporal, depOutput)
+	distinctOut1 := distinctTiles(innerTemporal, depOutput)
+
+	nocIn := fillsIn1 * inBytes1 * lanes.copies(depInput, uo, ui)
+	nocW := fillsW1 * wBytes1 * lanes.copies(depWeight, uo, ui)
+	outCopies := lanes.copies(depOutput, uo, ui)
+	nocOut := fillsOut1*outBytes1*outCopies + (fillsOut1-distinctOut1)*outBytes1*outCopies
+	perOuterBytes := nocIn + nocW + nocOut
+
+	nocBytes := outerIters * perOuterBytes
+
+	// --- Stalls and delay ----------------------------------------------------
+	dramBW := math.Max(16, float64(a.NoCBW)/2) // off-chip channel tracks on-chip width
+	dramCycles := dramBytes / dramBW
+	// Each row has a dedicated bus of NoCBW bytes/cycle; traffic spreads
+	// over the active rows.
+	nocCycles := nocBytes / (float64(a.NoCBW) * float64(lanes.rows))
+	ramp := rampCycles * float64(h+w)
+	delay := math.Max(computeCycles, math.Max(dramCycles, nocCycles)) + ramp
+
+	// --- Energy ---------------------------------------------------------------
+	macs := float64(l.MACs())
+	// Scratchpad accesses: DRAM fills write into L2 once, and every byte
+	// sent down a row bus is read from L2 once (the bus itself multicasts
+	// across the columns of the row).
+	l2AccessBytes := dramBytes + nocBytes
+	rfAccessBytes := macs * 4 // two operand reads + psum read + write per MAC
+	eL2 := eL2BasePJ * math.Sqrt(float64(a.L2KB)/128)
+	eNoC := eNoCBase + eNoCPerColumn*float64(w)
+
+	energyPJ := macs*eMACPerOp +
+		dramBytes*eDRAMPerByte +
+		l2AccessBytes*eL2 +
+		nocBytes*eNoC +
+		rfAccessBytes*eRFPerByte +
+		delay*leakPerMM2*a.AreaMM2()
+
+	// --- Derived metrics -------------------------------------------------------
+	var spatialUtil float64
+	if uo == ui {
+		spatialUtil = float64(n1[uo]) / (float64(innerTemporal[uo]) * float64(h*w))
+	} else {
+		spatialUtil = (float64(n1[uo]) / (float64(innerTemporal[uo]) * float64(h))) *
+			(float64(n1[ui]) / (float64(innerTemporal[ui]) * float64(w)))
+	}
+	util := spatialUtil * computeCycles / delay
+
+	cost := Cost{
+		DelayCycles:     delay,
+		EnergyNJ:        energyPJ / 1000,
+		AreaMM2:         a.AreaMM2(),
+		ComputeCycles:   computeCycles,
+		DRAMCycles:      dramCycles,
+		NoCCycles:       nocCycles,
+		DRAMBytes:       dramBytes,
+		DRAMInputBytes:  dramIn,
+		DRAMWeightBytes: dramW,
+		DRAMOutputBytes: dramOut,
+		NoCBytes:        nocBytes,
+		L2Bytes:         l2AccessBytes,
+		RFBytes:         rfAccessBytes,
+		Utilization:     util,
+	}
+	cost.PowerMW = cost.EnergyNJ * 1000 / delay
+	if nocInTotal := outerIters * nocIn; nocInTotal > 0 {
+		cost.RFInputReuse = macs / nocInTotal
+		if dramIn > 0 {
+			cost.L2InputReuse = nocInTotal / dramIn
+		}
+	}
+	return cost, nil
+}
+
+// spatialLanes is the concurrently active extent of the PE array.
+type spatialLanes struct {
+	rows, cols int
+}
+
+// combinedLanes spreads trip iterations over the whole h×w array when the
+// same dimension is unrolled at both levels.
+func combinedLanes(trip, h, w int) spatialLanes {
+	total := minInt(h*w, trip)
+	cols := minInt(w, total)
+	rows := minInt(h, ceilDiv(total, cols))
+	return spatialLanes{rows: rows, cols: cols}
+}
+
+// copies returns how many spatially distinct copies of a tensor's tile
+// one temporal fill must deliver: tensors that depend on an unrolled
+// dimension need one copy per active lane along it; independent tensors
+// are multicast (one copy serves the whole extent).
+func (s spatialLanes) copies(dep [workload.NumDims]bool, uo, ui workload.Dim) float64 {
+	c := 1.0
+	if uo == ui {
+		if dep[uo] {
+			c = float64(s.rows * s.cols)
+		}
+		return c
+	}
+	if dep[uo] {
+		c *= float64(s.rows)
+	}
+	if dep[ui] {
+		c *= float64(s.cols)
+	}
+	return c
+}
+
+// fills implements the stationarity rule: the number of times a tensor's
+// tile must be (re)filled from the level above equals the product of the
+// temporal trip counts of all loops from the outermost down to the
+// tensor's innermost dependent loop. Loops below that point only iterate
+// dimensions the tensor does not depend on, so the tile stays resident.
+func fills(order [workload.NumDims]workload.Dim, trips [workload.NumDims]int, dep [workload.NumDims]bool) float64 {
+	innermost := -1
+	for i := workload.NumDims - 1; i >= 0; i-- {
+		if dep[order[i]] && trips[order[i]] > 1 {
+			innermost = i
+			break
+		}
+	}
+	f := 1.0
+	for i := 0; i <= innermost; i++ {
+		f *= float64(trips[order[i]])
+	}
+	return f
+}
+
+// distinctTiles counts the distinct tiles of a tensor across a tiling
+// level: the product of trip counts over the tensor's dependent dims.
+func distinctTiles(trips [workload.NumDims]int, dep [workload.NumDims]bool) float64 {
+	f := 1.0
+	for i, d := range workload.AllDims {
+		if dep[d] {
+			f *= float64(trips[i])
+		}
+	}
+	return f
+}
+
+func inputTileBytes(l workload.Layer, t [workload.NumDims]int) float64 {
+	inX := float64(t[workload.DimX]-1)*float64(l.StrideX) + float64(t[workload.DimR])
+	inY := float64(t[workload.DimY]-1)*float64(l.StrideY) + float64(t[workload.DimS])
+	return float64(t[workload.DimN]) * float64(t[workload.DimC]) * inX * inY
+}
+
+func weightTileBytes(t [workload.NumDims]int) float64 {
+	return float64(t[workload.DimK]) * float64(t[workload.DimC]) * float64(t[workload.DimR]) * float64(t[workload.DimS])
+}
+
+func outputTileBytes(t [workload.NumDims]int) float64 {
+	return float64(t[workload.DimN]) * float64(t[workload.DimK]) * float64(t[workload.DimX]) * float64(t[workload.DimY])
+}
+
+func prod(a [workload.NumDims]int) float64 {
+	f := 1.0
+	for _, x := range a {
+		f *= float64(x)
+	}
+	return f
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+// Package nas implements the paper's §VIII future-work direction:
+// integrating Spotlight with neural architecture search "to fully
+// explore the joint space of hardware, software, and neural models."
+// A third daBO instance searches a parameterized MobileNet-style model
+// family; each candidate architecture is lowered to CONV layers and
+// co-designed by the full nested Spotlight flow, and the architecture
+// search minimizes the hardware objective subject to a model-quality
+// floor.
+//
+// Model quality is scored by a synthetic capacity-based proxy
+// (QualityProxy) — this repository has no training pipeline, and NAS
+// works (e.g. MnasNet itself) substitute predictors for training in
+// exactly this position. The proxy is monotone in compute capacity with
+// diminishing returns, which preserves the search dynamics that matter:
+// a quality floor prunes small architectures, and EDP pressure prunes
+// large ones, so the optimum sits at the crossover.
+package nas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spotlight/internal/workload"
+)
+
+// Arch is one point in the model design space: a MobileNet-style
+// backbone parameterized the way platform-aware NAS papers do it.
+type Arch struct {
+	WidthMult  float64 // channel multiplier: 0.25–2.0
+	Depth      int     // inverted-residual blocks per stage: 1–3
+	KernelSize int     // depth-wise kernel: 3 or 5
+	Resolution int     // input side: 96–224, multiple of 32
+}
+
+// Validate reports structurally invalid architectures.
+func (a Arch) Validate() error {
+	if a.WidthMult < 0.25 || a.WidthMult > 2.0 {
+		return fmt.Errorf("nas: width multiplier %v out of [0.25, 2]", a.WidthMult)
+	}
+	if a.Depth < 1 || a.Depth > 3 {
+		return fmt.Errorf("nas: depth %d out of [1, 3]", a.Depth)
+	}
+	if a.KernelSize != 3 && a.KernelSize != 5 {
+		return fmt.Errorf("nas: kernel size %d not in {3, 5}", a.KernelSize)
+	}
+	if a.Resolution < 96 || a.Resolution > 224 || a.Resolution%32 != 0 {
+		return fmt.Errorf("nas: resolution %d not a multiple of 32 in [96, 224]", a.Resolution)
+	}
+	return nil
+}
+
+// String renders the architecture compactly.
+func (a Arch) String() string {
+	return fmt.Sprintf("w%.2f d%d k%d r%d", a.WidthMult, a.Depth, a.KernelSize, a.Resolution)
+}
+
+// widthMults is the searched channel-multiplier grid.
+var widthMults = []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}
+
+// RandomArch samples a uniformly random architecture.
+func RandomArch(rng *rand.Rand) Arch {
+	return Arch{
+		WidthMult:  widthMults[rng.Intn(len(widthMults))],
+		Depth:      1 + rng.Intn(3),
+		KernelSize: 3 + 2*rng.Intn(2),
+		Resolution: 96 + 32*rng.Intn(5),
+	}
+}
+
+// stage describes one backbone stage at width multiplier 1.
+type stage struct {
+	channels int
+	stride   int
+}
+
+var backbone = []stage{
+	{24, 2}, {40, 2}, {80, 2}, {112, 1}, {160, 2},
+}
+
+// Model lowers the architecture to CONV-space layers: a strided stem
+// convolution, Depth inverted-residual blocks per stage (1×1 expand,
+// depth-wise KernelSize, 1×1 project), and a classifier head.
+func (a Arch) Model() (workload.Model, error) {
+	if err := a.Validate(); err != nil {
+		return workload.Model{}, err
+	}
+	ch := func(c int) int {
+		v := int(math.Round(a.WidthMult * float64(c)))
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	name := "nas-" + a.String()
+	side := a.Resolution
+	in := ch(16)
+	layers := []workload.Layer{
+		workload.Conv("stem", 1, in, 3, 3, 3, side+2-1, side+2-1).Strided(2),
+	}
+	side /= 2
+	pad := a.KernelSize / 2
+	for si, st := range backbone {
+		out := ch(st.channels)
+		exp := in * 4
+		outSide := side / st.stride
+		prefix := fmt.Sprintf("s%d", si+1)
+		layers = append(layers,
+			workload.Conv(prefix+"_exp", 1, exp, in, 1, 1, side, side),
+			workload.FromDepthwise(prefix+"_dw", exp, a.KernelSize, a.KernelSize,
+				side+2*pad-(st.stride-1), side+2*pad-(st.stride-1), st.stride),
+			workload.Conv(prefix+"_proj", 1, out, exp, 1, 1, outSide, outSide),
+		)
+		if a.Depth > 1 {
+			exp2 := out * 4
+			layers = append(layers,
+				workload.Conv(prefix+"b_exp", 1, exp2, out, 1, 1, outSide, outSide).Times(a.Depth-1),
+				workload.FromDepthwise(prefix+"b_dw", exp2, a.KernelSize, a.KernelSize,
+					outSide+2*pad, outSide+2*pad, 1).Times(a.Depth-1),
+				workload.Conv(prefix+"b_proj", 1, out, exp2, 1, 1, outSide, outSide).Times(a.Depth-1),
+			)
+		}
+		in = out
+		side = outSide
+	}
+	layers = append(layers,
+		workload.Conv("head", 1, ch(640), in, 1, 1, side, side),
+		workload.FromFC("fc", ch(640), 1000),
+	)
+	m := workload.Model{Name: name, Layers: layers}
+	if err := m.Validate(); err != nil {
+		return workload.Model{}, fmt.Errorf("nas: lowering %s: %w", a, err)
+	}
+	return m, nil
+}
+
+// QualityProxy scores an architecture in [0, 1). It is a *synthetic*
+// stand-in for a trained accuracy predictor: monotone in log-MACs and in
+// resolution with saturating returns, so bigger models are better but
+// with diminishing payoff — the regime real accuracy curves live in.
+func QualityProxy(a Arch) (float64, error) {
+	m, err := a.Model()
+	if err != nil {
+		return 0, err
+	}
+	gmacs := float64(m.TotalMACs()) / 1e9
+	capacity := 1 - math.Exp(-3*math.Pow(gmacs, 0.4))
+	res := float64(a.Resolution) / 224
+	return 0.6*capacity + 0.25*capacity*res + 0.1*res, nil
+}

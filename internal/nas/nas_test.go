@@ -1,0 +1,169 @@
+package nas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+)
+
+func TestArchValidate(t *testing.T) {
+	good := Arch{WidthMult: 1, Depth: 2, KernelSize: 3, Resolution: 160}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid arch rejected: %v", err)
+	}
+	cases := []Arch{
+		{WidthMult: 0.1, Depth: 2, KernelSize: 3, Resolution: 160},
+		{WidthMult: 1, Depth: 0, KernelSize: 3, Resolution: 160},
+		{WidthMult: 1, Depth: 2, KernelSize: 4, Resolution: 160},
+		{WidthMult: 1, Depth: 2, KernelSize: 3, Resolution: 100},
+		{WidthMult: 1, Depth: 2, KernelSize: 3, Resolution: 512},
+	}
+	for _, c := range cases {
+		if c.Validate() == nil {
+			t.Fatalf("invalid arch accepted: %+v", c)
+		}
+	}
+}
+
+func TestRandomArchAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return RandomArch(rng).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchModelLowersAndValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		a := RandomArch(rng)
+		m, err := a.Model()
+		if err != nil {
+			t.Fatalf("arch %s failed to lower: %v", a, err)
+		}
+		if m.TotalMACs() <= 0 {
+			t.Fatalf("arch %s has no compute", a)
+		}
+	}
+}
+
+func TestModelMACsScaleWithArch(t *testing.T) {
+	base := Arch{WidthMult: 1, Depth: 1, KernelSize: 3, Resolution: 160}
+	wider := base
+	wider.WidthMult = 2
+	deeper := base
+	deeper.Depth = 3
+	hires := base
+	hires.Resolution = 224
+
+	macs := func(a Arch) int64 {
+		m, err := a.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.TotalMACs()
+	}
+	b := macs(base)
+	if macs(wider) <= b || macs(deeper) <= b || macs(hires) <= b {
+		t.Fatalf("MACs not monotone in arch knobs: base=%d wider=%d deeper=%d hires=%d",
+			b, macs(wider), macs(deeper), macs(hires))
+	}
+}
+
+func TestQualityProxyMonotoneAndBounded(t *testing.T) {
+	small := Arch{WidthMult: 0.25, Depth: 1, KernelSize: 3, Resolution: 96}
+	big := Arch{WidthMult: 2, Depth: 3, KernelSize: 5, Resolution: 224}
+	qs, err1 := QualityProxy(small)
+	qb, err2 := QualityProxy(big)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("proxy failed: %v / %v", err1, err2)
+	}
+	if qs >= qb {
+		t.Fatalf("proxy not monotone: small %v >= big %v", qs, qb)
+	}
+	if qs < 0 || qb >= 1 {
+		t.Fatalf("proxy out of [0,1): %v, %v", qs, qb)
+	}
+}
+
+func TestSearchFindsFeasibleArch(t *testing.T) {
+	cfg := SearchConfig{
+		CoDesign: core.RunConfig{
+			Space:     hw.EdgeSpace(),
+			Budget:    hw.EdgeBudget(),
+			Objective: core.MinEDP,
+			HWSamples: 4,
+			SWSamples: 6,
+			Eval:      maestro.New(),
+		},
+		QualityFloor: 0.5,
+		ArchSamples:  6,
+		Seed:         1,
+	}
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Quality < cfg.QualityFloor {
+		t.Fatalf("winner below quality floor: %v", res.Best.Quality)
+	}
+	if res.Best.Objective <= 0 {
+		t.Fatalf("bad objective: %v", res.Best.Objective)
+	}
+	if len(res.Evaluated) == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	if err := res.Best.Arch.Validate(); err != nil {
+		t.Fatalf("winning arch invalid: %v", err)
+	}
+	// The winner is the minimum over everything evaluated.
+	for _, c := range res.Evaluated {
+		if c.Objective < res.Best.Objective {
+			t.Fatal("best is not the minimum of evaluated candidates")
+		}
+	}
+}
+
+func TestSearchImpossibleFloor(t *testing.T) {
+	cfg := SearchConfig{
+		CoDesign: core.RunConfig{
+			Objective: core.MinEDP,
+			HWSamples: 2,
+			SWSamples: 4,
+			Eval:      maestro.New(),
+		},
+		QualityFloor: 0.999, // unreachable: proxy < 1
+		ArchSamples:  4,
+		Seed:         2,
+	}
+	if _, err := Search(cfg); err == nil {
+		t.Fatal("impossible floor produced a result")
+	}
+}
+
+func TestArchFeaturesFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		a := RandomArch(rng)
+		f, err := archFeatures(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f) != 6 {
+			t.Fatalf("feature vector length %d, want 6", len(f))
+		}
+	}
+}
+
+func TestArchString(t *testing.T) {
+	a := Arch{WidthMult: 0.5, Depth: 2, KernelSize: 5, Resolution: 128}
+	if a.String() != "w0.50 d2 k5 r128" {
+		t.Fatalf("arch string = %q", a.String())
+	}
+}

@@ -1,0 +1,158 @@
+// Package oracle exhaustively enumerates the software schedule space for
+// small layers, providing ground-truth optima to validate the search
+// algorithms against. Full enumeration is intractable for real layers
+// (the space is O(10^18), §I of the paper), but for small synthetic
+// layers the tiling × unrolling space is enumerable exactly, with loop
+// orders covered by a structured subset (every rotation of the canonical
+// order plus the classic stationarity orders) — the orders that matter
+// for the fills analysis, since only the relative position of each
+// tensor's dependent dims affects traffic.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// Options bounds the enumeration.
+type Options struct {
+	// MaxPoints aborts enumeration when the schedule count would exceed
+	// this bound (default 5e6).
+	MaxPoints float64
+	// Orders overrides the loop-order subset (outer and inner orders
+	// both range over it). Defaults to StructuredOrders().
+	Orders [][workload.NumDims]workload.Dim
+}
+
+// ErrTooLarge reports that the layer's schedule space exceeds MaxPoints.
+var ErrTooLarge = errors.New("oracle: schedule space too large to enumerate")
+
+// Result is the exhaustive optimum and search-space statistics.
+type Result struct {
+	Best      sched.Schedule
+	BestCost  float64
+	Evaluated int // schedules costed (valid or not)
+	Valid     int // schedules the cost model accepted
+}
+
+// StructuredOrders returns the loop-order subset used by default: the
+// seven rotations of the canonical order plus the weight-, output- and
+// input-stationary orders.
+func StructuredOrders() [][workload.NumDims]workload.Dim {
+	var orders [][workload.NumDims]workload.Dim
+	base := sched.CanonicalOrder()
+	for r := 0; r < workload.NumDims; r++ {
+		var o [workload.NumDims]workload.Dim
+		for i := range base {
+			o[i] = base[(i+r)%workload.NumDims]
+		}
+		orders = append(orders, o)
+	}
+	orders = append(orders,
+		// Weight stationary: weight dims outer, others inner.
+		[workload.NumDims]workload.Dim{workload.DimK, workload.DimC, workload.DimR,
+			workload.DimS, workload.DimN, workload.DimX, workload.DimY},
+		// Output stationary: output dims outer, reduction dims inner.
+		[workload.NumDims]workload.Dim{workload.DimN, workload.DimK, workload.DimX,
+			workload.DimY, workload.DimC, workload.DimR, workload.DimS},
+		// Input stationary: input dims outer.
+		[workload.NumDims]workload.Dim{workload.DimN, workload.DimC, workload.DimX,
+			workload.DimY, workload.DimR, workload.DimS, workload.DimK},
+	)
+	return orders
+}
+
+// SpaceSize returns the number of schedules the oracle would enumerate
+// for the layer under the options.
+func SpaceSize(l workload.Layer, opts Options) float64 {
+	orders := opts.Orders
+	if orders == nil {
+		orders = StructuredOrders()
+	}
+	size := 1.0
+	for _, d := range workload.AllDims {
+		pairs := 0
+		for _, t2 := range sched.Divisors(l.Size(d)) {
+			pairs += len(sched.Divisors(t2))
+		}
+		size *= float64(pairs)
+	}
+	size *= float64(len(orders)) * float64(len(orders)) // both orders
+	size *= float64(workload.NumDims * workload.NumDims)
+	return size
+}
+
+// BestSchedule exhaustively minimizes the objective over the bounded
+// schedule space for the layer on the fixed accelerator. It returns
+// ErrTooLarge when the space exceeds Options.MaxPoints, and an error when
+// no schedule is feasible.
+func BestSchedule(eval core.Evaluator, obj core.Objective, a hw.Accel, l workload.Layer, opts Options) (Result, error) {
+	if opts.MaxPoints <= 0 {
+		opts.MaxPoints = 5e6
+	}
+	if opts.Orders == nil {
+		opts.Orders = StructuredOrders()
+	}
+	if size := SpaceSize(l, opts); size > opts.MaxPoints {
+		return Result{}, fmt.Errorf("%w: %.3g points > bound %.3g", ErrTooLarge, size, opts.MaxPoints)
+	}
+
+	// Pre-compute the per-dimension (T1, T2) divisor pairs.
+	pairs := make([][][2]int, workload.NumDims)
+	for i, d := range workload.AllDims {
+		for _, t2 := range sched.Divisors(l.Size(d)) {
+			for _, t1 := range sched.Divisors(t2) {
+				pairs[i] = append(pairs[i], [2]int{t1, t2})
+			}
+		}
+	}
+
+	res := Result{BestCost: math.Inf(1)}
+	var s sched.Schedule
+	var walk func(dim int)
+	evaluateOrders := func() {
+		for _, oo := range opts.Orders {
+			for _, io := range opts.Orders {
+				s.OuterOrder, s.InnerOrder = oo, io
+				for uo := 0; uo < workload.NumDims; uo++ {
+					for ui := 0; ui < workload.NumDims; ui++ {
+						s.OuterUnroll = workload.Dim(uo)
+						s.InnerUnroll = workload.Dim(ui)
+						res.Evaluated++
+						c, err := eval.Evaluate(a, s, l)
+						if err != nil {
+							continue
+						}
+						res.Valid++
+						if v := obj.LayerCost(c); v < res.BestCost {
+							res.BestCost = v
+							res.Best = s
+						}
+					}
+				}
+			}
+		}
+	}
+	walk = func(dim int) {
+		if dim == workload.NumDims {
+			evaluateOrders()
+			return
+		}
+		for _, p := range pairs[dim] {
+			s.T1[dim], s.T2[dim] = p[0], p[1]
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+
+	if res.Valid == 0 {
+		return res, fmt.Errorf("oracle: no feasible schedule for %s on %s", l.Name, a)
+	}
+	return res, nil
+}

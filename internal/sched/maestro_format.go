@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"spotlight/internal/workload"
+)
+
+// ToMaestroMapping renders a schedule in MAESTRO's data-centric mapping
+// syntax (Kwon et al.), so schedules found by this tool can be fed to
+// the real MAESTRO ecosystem for cross-checking. The two tile levels
+// become two directive blocks: the DRAM→L2 level lists TemporalMap
+// directives over T2 tiles with a SpatialMap on the outer-unrolled
+// dimension (cluster rows), and the L2→RF level does the same over T1
+// tiles with a SpatialMap on the inner-unrolled dimension (PE columns),
+// separated by a Cluster directive carrying the row width.
+//
+// MAESTRO's dimension letters differ slightly from Figure 1: its Y/X are
+// input rows/columns and C/K channels; batch N has no directive and is
+// emitted as a comment when it is non-trivial.
+func ToMaestroMapping(l workload.Layer, s Schedule, clusterWidth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// generated for layer %s\n", l.Name)
+	if l.N > 1 {
+		fmt.Fprintf(&b, "// note: batch N=%d folded outside the mapping\n", l.N)
+	}
+	b.WriteString("Mapping {\n")
+	writeLevel(&b, s.OuterOrder, s.T2, s.OuterUnroll, 1)
+	fmt.Fprintf(&b, "  Cluster(%d, P);\n", clusterWidth)
+	writeLevel(&b, s.InnerOrder, s.T1, s.InnerUnroll, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// maestroDim maps Figure 1 dimensions onto MAESTRO's directive letters.
+var maestroDim = map[workload.Dim]string{
+	workload.DimN: "N",
+	workload.DimK: "K",
+	workload.DimC: "C",
+	workload.DimR: "R",
+	workload.DimS: "S",
+	workload.DimX: "Y'", // output rows
+	workload.DimY: "X'", // output columns
+}
+
+// writeLevel emits one tile level's directives, outermost first.
+func writeLevel(b *strings.Builder, order [workload.NumDims]workload.Dim,
+	tiles [workload.NumDims]int, unroll workload.Dim, indent int) {
+	pad := strings.Repeat("  ", indent)
+	for _, d := range order {
+		size := tiles[d]
+		kind := "TemporalMap"
+		if d == unroll {
+			kind = "SpatialMap"
+		}
+		fmt.Fprintf(b, "%s%s(%d,%d) %s;\n", pad, kind, size, size, maestroDim[d])
+	}
+}
+
+// ToMaestroLayer renders the layer's shape in MAESTRO's network syntax.
+func ToMaestroLayer(l workload.Layer) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Layer %s {\n", sanitize(l.Name))
+	b.WriteString("  Type: CONV\n")
+	fmt.Fprintf(&b, "  Dimensions { K: %d, C: %d, R: %d, S: %d, Y: %d, X: %d }\n",
+		l.K, l.C, l.R, l.S, l.X, l.Y)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spotlight/internal/workload"
+)
+
+func TestToMaestroMappingStructure(t *testing.T) {
+	l := workload.Conv("conv1_1", 1, 64, 32, 3, 3, 18, 18)
+	rng := rand.New(rand.NewSource(1))
+	s := Free().Random(rng, l, 512, 128<<10)
+	out := ToMaestroMapping(l, s, 14)
+	if !strings.Contains(out, "Mapping {") || !strings.Contains(out, "Cluster(14, P);") {
+		t.Fatalf("missing structure:\n%s", out)
+	}
+	// Exactly two SpatialMap directives: one per tile level.
+	if n := strings.Count(out, "SpatialMap"); n != 2 {
+		t.Fatalf("got %d SpatialMap directives, want 2:\n%s", n, out)
+	}
+	// Seven temporal/spatial directives per level.
+	if n := strings.Count(out, "Map("); n != 14 {
+		t.Fatalf("got %d directives, want 14:\n%s", n, out)
+	}
+}
+
+func TestToMaestroMappingBatchComment(t *testing.T) {
+	l := workload.FromDepthwise("dw", 32, 3, 3, 18, 18, 1) // N=32
+	rng := rand.New(rand.NewSource(2))
+	s := Free().Random(rng, l, 512, 128<<10)
+	out := ToMaestroMapping(l, s, 8)
+	if !strings.Contains(out, "batch N=32") {
+		t.Fatalf("batch note missing:\n%s", out)
+	}
+}
+
+func TestToMaestroLayer(t *testing.T) {
+	l := workload.Conv("res2a_3x3", 1, 64, 64, 3, 3, 58, 58)
+	out := ToMaestroLayer(l)
+	if !strings.Contains(out, "Layer res2a_3x3 {") ||
+		!strings.Contains(out, "K: 64, C: 64, R: 3, S: 3, Y: 58, X: 58") {
+		t.Fatalf("layer rendering wrong:\n%s", out)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("b2a_dw/3x3-full"); got != "b2a_dw_3x3_full" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

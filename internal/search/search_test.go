@@ -1,0 +1,248 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+func tinyModel() workload.Model {
+	return workload.Model{
+		Name: "tiny",
+		Layers: []workload.Layer{
+			workload.Conv("a", 1, 32, 16, 3, 3, 10, 10),
+			workload.Conv("b", 1, 64, 32, 1, 1, 8, 8).Times(2),
+		},
+	}
+}
+
+func tinyConfig(seed int64) core.RunConfig {
+	return core.RunConfig{
+		Models:    []workload.Model{tinyModel()},
+		Space:     hw.EdgeSpace(),
+		Budget:    hw.EdgeBudget(),
+		Objective: core.MinEDP,
+		HWSamples: 10,
+		SWSamples: 10,
+		Seed:      seed,
+		Eval:      maestro.New(),
+	}
+}
+
+func TestAllStrategiesCompleteARun(t *testing.T) {
+	strategies := []core.Strategy{
+		NewRandom(), NewGenetic(), NewConfuciuX(), NewHASCO(),
+	}
+	for _, s := range strategies {
+		res, err := core.Run(tinyConfig(1), s)
+		if err != nil {
+			t.Errorf("%s failed: %v", s.Name(), err)
+			continue
+		}
+		if res.Best.Objective <= 0 || math.IsInf(res.Best.Objective, 1) {
+			t.Errorf("%s produced bad objective %v", s.Name(), res.Best.Objective)
+		}
+		if len(res.History) != 10 {
+			t.Errorf("%s history has %d entries, want 10", s.Name(), len(res.History))
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if NewRandom().Name() != "Spotlight-R" ||
+		NewGenetic().Name() != "Spotlight-GA" ||
+		NewConfuciuX().Name() != "ConfuciuX" ||
+		NewHASCO().Name() != "HASCO" {
+		t.Fatal("unexpected strategy names")
+	}
+}
+
+func TestRestrictedToolsUseTinySWBudget(t *testing.T) {
+	cfg := tinyConfig(1)
+	if b := NewConfuciuX().SWBudget(cfg); b != 3 {
+		t.Fatalf("ConfuciuX SW budget = %d, want 3", b)
+	}
+	if b := NewHASCO().SWBudget(cfg); b != 4 {
+		t.Fatalf("HASCO SW budget = %d, want 4", b)
+	}
+	if b := NewRandom().SWBudget(cfg); b != cfg.SWSamples {
+		t.Fatalf("random SW budget = %d, want %d", b, cfg.SWSamples)
+	}
+}
+
+func TestConfuciuXSchedulesAreFixedDataflows(t *testing.T) {
+	cfg := tinyConfig(2)
+	res, err := core.Run(cfg, NewConfuciuX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer unrolls limited to the three fixed dataflows' choices.
+	allowed := map[workload.Dim]bool{
+		workload.DimY: true, // Eyeriss-like
+		workload.DimK: true, // NVDLA-like
+		workload.DimX: true, // ShiDianNao-like
+	}
+	for _, lr := range res.Best.Layers {
+		if !allowed[lr.Schedule.OuterUnroll] {
+			t.Fatalf("ConfuciuX schedule outside fixed dataflows: %v", lr.Schedule.OuterUnroll)
+		}
+	}
+}
+
+func TestGeneticPopulationEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := population[int]{capacity: 3, rng: rng}
+	p.insert(1, 10)
+	p.insert(2, 5)
+	p.insert(3, 20)
+	p.insert(4, 1) // evicts fitness-20 member
+	if len(p.members) != 3 {
+		t.Fatalf("population size = %d, want 3", len(p.members))
+	}
+	for _, m := range p.members {
+		if m.fitness == 20 {
+			t.Fatal("worst member not evicted")
+		}
+	}
+}
+
+func TestGeneticTournamentPrefersFitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := population[int]{capacity: 2, rng: rng}
+	p.insert(1, 100)
+	p.insert(2, 1)
+	wins := 0
+	for i := 0; i < 200; i++ {
+		if p.tournament() == 2 {
+			wins++
+		}
+	}
+	// The fitter genome wins whenever it is drawn at all: P ≈ 3/4.
+	if wins < 120 {
+		t.Fatalf("fitter genome won only %d/200 tournaments", wins)
+	}
+}
+
+func TestSampleSoftmaxRespectsLogits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	logits := []float64{0, 0, 5, 0} // heavily favors bucket 2
+	counts := make([]int, 4)
+	for i := 0; i < 500; i++ {
+		counts[sampleSoftmax(rng, logits)]++
+	}
+	if counts[2] < 400 {
+		t.Fatalf("dominant bucket drawn only %d/500 times", counts[2])
+	}
+}
+
+func TestSoftmaxNormalizes(t *testing.T) {
+	p := softmax([]float64{1, 2, 3})
+	var sum float64
+	for _, x := range p {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatal("softmax not monotone in logits")
+	}
+}
+
+func TestConfuciuXDecodeStaysInSpace(t *testing.T) {
+	cfg := tinyConfig(6)
+	h := NewConfuciuX().NewHW(cfg, rand.New(rand.NewSource(6))).(*confuciuxHW)
+	for trial := 0; trial < 200; trial++ {
+		a := h.sampleFromPolicy()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("decoded config invalid: %v (%s)", err, a)
+		}
+		if !cfg.Space.Contains(a) {
+			t.Fatalf("decoded config outside space: %s", a)
+		}
+	}
+}
+
+func TestConfuciuXPolicyLearns(t *testing.T) {
+	// Reward only bucket-0 PE counts; the policy should concentrate there.
+	cfg := tinyConfig(7)
+	cfg.HWSamples = 1000 // keep everything in the RL phase
+	rng := rand.New(rand.NewSource(7))
+	h := NewConfuciuX().NewHW(cfg, rng).(*confuciuxHW)
+	for i := 0; i < 150; i++ {
+		a := h.Suggest()
+		if a.PEs < (cfg.Space.PEMin+cfg.Space.PEMax)/2 {
+			h.Observe(a, 1, nil) // great
+		} else {
+			h.Observe(a, 1e9, nil) // terrible
+		}
+	}
+	probs := softmax(h.logits[0])
+	lowHalf := 0.0
+	for b := 0; b < policyBuckets/2; b++ {
+		lowHalf += probs[b]
+	}
+	if lowHalf < 0.7 {
+		t.Fatalf("policy mass on rewarded half = %v, want > 0.7", lowHalf)
+	}
+}
+
+func TestHASCOQAgentPrefersBetterTemplate(t *testing.T) {
+	cfg := tinyConfig(8)
+	rng := rand.New(rand.NewSource(8))
+	a := hw.EyerissEdge().Accel
+	l := tinyModel().Layers[0]
+	sw := NewHASCO().NewSW(cfg, rng, a, l).(*hascoSW)
+	// Template 1 is great, others are poor.
+	for i := 0; i < 60; i++ {
+		_ = sw.Suggest()
+		if sw.last == 1 {
+			sw.Observe(sched.Schedule{}, 10, nil)
+		} else {
+			sw.Observe(sched.Schedule{}, 1e12, nil)
+		}
+	}
+	if best := argmax(sw.q); best != 1 {
+		t.Fatalf("Q-agent prefers template %d, want 1 (q=%v)", best, sw.q)
+	}
+}
+
+func TestNearestDivisor(t *testing.T) {
+	if d := nearestDivisor(12, 3.4); d != 3 {
+		t.Fatalf("nearestDivisor(12, 3.4) = %d, want 3", d)
+	}
+	if d := nearestDivisor(12, 100); d != 12 {
+		t.Fatalf("nearestDivisor(12, 100) = %d, want 12", d)
+	}
+	if d := nearestDivisor(7, 2); d != 1 {
+		t.Fatalf("nearestDivisor(7, 2) = %d, want 1", d)
+	}
+}
+
+func TestSnapStride(t *testing.T) {
+	if v := snapStride(71, 64, 8); v != 64 {
+		t.Fatalf("snapStride = %d, want 64", v)
+	}
+	if v := snapStride(72, 64, 8); v != 72 {
+		t.Fatalf("snapStride = %d, want 72", v)
+	}
+}
+
+func TestRandomProposersAreUniform(t *testing.T) {
+	cfg := tinyConfig(9)
+	rng := rand.New(rand.NewSource(9))
+	hwP := NewRandom().NewHW(cfg, rng)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[hwP.Suggest().PEs] = true
+	}
+	if len(seen) < 30 {
+		t.Fatalf("random hardware proposer drew only %d distinct PE counts", len(seen))
+	}
+}

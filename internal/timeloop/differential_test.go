@@ -1,0 +1,144 @@
+package timeloop
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// Differential tests: invariants that must hold for BOTH analytical
+// models, checked side by side on the same random designs. These pin the
+// shared physics while the models remain free to disagree on rankings
+// (which §VII-F relies on).
+
+func layersUnderTest() []workload.Layer {
+	return []workload.Layer{
+		workload.Conv("conv3x3", 1, 64, 32, 3, 3, 18, 18),
+		workload.Conv("pointwise", 1, 128, 64, 1, 1, 14, 14),
+		workload.FromDepthwise("dw", 32, 3, 3, 16, 16, 1),
+		workload.FromGEMM("gemm", 64, 64, 128),
+		workload.Conv("strided", 1, 32, 16, 3, 3, 31, 31).Strided(2),
+	}
+}
+
+func TestBothModelsRespectComputeBound(t *testing.T) {
+	primary := maestro.New()
+	second := New()
+	a := testAccel()
+	rng := rand.New(rand.NewSource(1))
+	free := sched.Free()
+	for _, l := range layersUnderTest() {
+		bound := float64(l.MACs()) / float64(a.PEs*a.SIMDLanes)
+		for i := 0; i < 60; i++ {
+			s := free.Random(rng, l, a.RFBytesPerPE()/4, a.L2Bytes()/4)
+			if cp, err := primary.Evaluate(a, s, l); err == nil && cp.DelayCycles < bound {
+				t.Fatalf("%s: primary delay %v below bound %v", l.Name, cp.DelayCycles, bound)
+			}
+			if cs, err := second.Evaluate(a, s, l); err == nil && cs.DelayCycles < bound {
+				t.Fatalf("%s: second delay %v below bound %v", l.Name, cs.DelayCycles, bound)
+			}
+		}
+	}
+}
+
+func TestBothModelsChargeCompulsoryTraffic(t *testing.T) {
+	primary := maestro.New()
+	second := New()
+	a := testAccel()
+	rng := rand.New(rand.NewSource(2))
+	free := sched.Free()
+	for _, l := range layersUnderTest() {
+		compulsory := float64(l.WeightElems() + l.OutputElems())
+		for i := 0; i < 60; i++ {
+			s := free.Random(rng, l, a.RFBytesPerPE()/4, a.L2Bytes()/4)
+			if cp, err := primary.Evaluate(a, s, l); err == nil && cp.DRAMBytes < compulsory {
+				t.Fatalf("%s: primary DRAM %v below compulsory %v", l.Name, cp.DRAMBytes, compulsory)
+			}
+			if cs, err := second.Evaluate(a, s, l); err == nil && cs.DRAMBytes < compulsory {
+				t.Fatalf("%s: second DRAM %v below compulsory %v", l.Name, cs.DRAMBytes, compulsory)
+			}
+		}
+	}
+}
+
+func TestSecondModelFeasibleIsPrimaryFeasible(t *testing.T) {
+	// The second model double-buffers, so its feasible region is a
+	// subset of the primary's: anything it accepts, the primary must
+	// accept too.
+	primary := maestro.New()
+	second := New()
+	a := testAccel()
+	rng := rand.New(rand.NewSource(3))
+	free := sched.Free()
+	accepted := 0
+	for _, l := range layersUnderTest() {
+		for i := 0; i < 80; i++ {
+			s := free.Random(rng, l, a.RFBytesPerPE(), a.L2Bytes())
+			if _, err := second.Evaluate(a, s, l); err != nil {
+				continue
+			}
+			accepted++
+			if _, err := primary.Evaluate(a, s, l); err != nil {
+				t.Fatalf("%s: second model accepted a schedule the primary rejects: %v", l.Name, err)
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no schedule accepted by the second model — test vacuous")
+	}
+}
+
+func TestModelsAgreeOnStructuralInvalidity(t *testing.T) {
+	primary := maestro.New()
+	second := New()
+	a := testAccel()
+	l := layersUnderTest()[0]
+	rng := rand.New(rand.NewSource(4))
+	s := sched.Free().Random(rng, l, a.RFBytesPerPE()/4, a.L2Bytes()/4)
+	bad := s
+	bad.T2[workload.DimK] = 7 // not a divisor of 64
+	if _, err := primary.Evaluate(a, bad, l); !errors.Is(err, maestro.ErrInvalid) {
+		t.Fatal("primary accepted a structurally invalid schedule")
+	}
+	if _, err := second.Evaluate(a, bad, l); !errors.Is(err, maestro.ErrInvalid) {
+		t.Fatal("second accepted a structurally invalid schedule")
+	}
+}
+
+func TestBothModelsFiniteOutputs(t *testing.T) {
+	primary := maestro.New()
+	second := New()
+	space := hw.EdgeSpace()
+	rng := rand.New(rand.NewSource(5))
+	free := sched.Free()
+	for _, l := range layersUnderTest() {
+		for i := 0; i < 40; i++ {
+			a := space.Random(rng)
+			s := free.Random(rng, l, a.RFBytesPerPE()/4, a.L2Bytes()/4)
+			for _, c := range evaluateBoth(primary, second, a, s, l) {
+				if math.IsNaN(c.DelayCycles) || math.IsInf(c.DelayCycles, 0) ||
+					math.IsNaN(c.EnergyNJ) || math.IsInf(c.EnergyNJ, 0) ||
+					c.EnergyNJ < 0 || c.DelayCycles < 0 {
+					t.Fatalf("%s: non-finite cost %+v", l.Name, c)
+				}
+			}
+		}
+	}
+}
+
+func evaluateBoth(p *maestro.Model, s *Model, a hw.Accel, sc sched.Schedule, l workload.Layer) []maestro.Cost {
+	var out []maestro.Cost
+	if c, err := p.Evaluate(a, sc, l); err == nil {
+		out = append(out, c)
+	}
+	if c, err := s.Evaluate(a, sc, l); err == nil {
+		out = append(out, c)
+	}
+	return out
+}

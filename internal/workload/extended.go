@@ -1,0 +1,92 @@
+package workload
+
+// Extended model zoo: architectures beyond the paper's five evaluation
+// models, provided for users of the library. ExtendedModels keeps them
+// separate from Models() so the reproduction experiments stay exactly on
+// the paper's workload set.
+
+// AlexNet returns the five convolutional and three fully connected
+// layers of AlexNet (Krizhevsky et al.) at 227×227 input, batch 1, in
+// its single-tower form (the original's two-GPU channel grouping is not
+// expressible in the 7-loop CONV abstraction and is omitted).
+func AlexNet() Model {
+	return Model{
+		Name: "AlexNet",
+		Layers: []Layer{
+			Conv("conv1", 1, 96, 3, 11, 11, 227, 227).Strided(4),
+			Conv("conv2", 1, 256, 96, 5, 5, 31, 31),
+			Conv("conv3", 1, 384, 256, 3, 3, 15, 15),
+			Conv("conv4", 1, 384, 384, 3, 3, 15, 15),
+			Conv("conv5", 1, 256, 384, 3, 3, 15, 15),
+			FromFC("fc6", 9216, 4096),
+			FromFC("fc7", 4096, 4096),
+			FromFC("fc8", 4096, 1000),
+		},
+	}
+}
+
+// ResNet18 returns the unique layer shapes of ResNet-18 (He et al.) at
+// 224×224 input, batch 1: basic blocks (two 3×3 convolutions) instead of
+// ResNet-50's bottlenecks.
+func ResNet18() Model {
+	ls := []Layer{
+		Conv("conv1", 1, 64, 3, 7, 7, 230, 230).Strided(2),
+	}
+	stages := []struct {
+		name        string
+		side        int // output side of the stage
+		out, in     int
+		entryStride int
+		entryInSide int // padded input side for the strided entry conv
+	}{
+		{"res2", 56, 64, 64, 1, 58},
+		{"res3", 28, 128, 64, 2, 58},
+		{"res4", 14, 256, 128, 2, 30},
+		{"res5", 7, 512, 256, 2, 16},
+	}
+	for _, st := range stages {
+		pad := st.side + 2
+		ls = append(ls,
+			Conv(st.name+"a_1", 1, st.out, st.in, 3, 3, st.entryInSide, st.entryInSide).Strided(st.entryStride),
+			Conv(st.name+"a_2", 1, st.out, st.out, 3, 3, pad, pad),
+		)
+		if st.entryStride != 1 {
+			ls = append(ls,
+				Conv(st.name+"a_proj", 1, st.out, st.in, 1, 1, st.entryInSide-2, st.entryInSide-2).Strided(st.entryStride))
+		}
+		// Second basic block (stride 1).
+		ls = append(ls,
+			Conv(st.name+"b", 1, st.out, st.out, 3, 3, pad, pad).Times(2))
+	}
+	ls = append(ls, FromFC("fc", 512, 1000))
+	return Model{Name: "ResNet-18", Layers: ls}
+}
+
+// BERTBase returns one BERT-base encoder block (Devlin et al.: d_model
+// 768, 12 heads, d_ff 3072) over a 256-token sequence, lowered to CONV
+// via col2im like the paper's Transformer workload.
+func BERTBase() Model {
+	const (
+		seq   = 256
+		dm    = 768
+		heads = 12
+		dh    = dm / heads // 64
+		dff   = 3072
+	)
+	return Model{
+		Name: "BERT-base",
+		Layers: []Layer{
+			FromGEMM("qkv_proj", dm, dm, seq).Times(3),
+			FromGEMM("attn_qk", seq, dh, seq).Times(heads),
+			FromGEMM("attn_v", dh, seq, seq).Times(heads),
+			FromGEMM("out_proj", dm, dm, seq),
+			FromGEMM("ffn1", dff, dm, seq),
+			FromGEMM("ffn2", dm, dff, seq),
+		},
+	}
+}
+
+// ExtendedModels returns the extra architectures in the extended zoo.
+func ExtendedModels() []Model {
+	return []Model{AlexNet(), ResNet18(), BERTBase()}
+}

@@ -1,0 +1,71 @@
+package workload
+
+import "testing"
+
+func TestExtendedModelsValidate(t *testing.T) {
+	ms := ExtendedModels()
+	if len(ms) != 3 {
+		t.Fatalf("got %d extended models, want 3", len(ms))
+	}
+	for _, m := range ms {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestExtendedModelsNotInPaperZoo(t *testing.T) {
+	for _, m := range ExtendedModels() {
+		if _, err := ByName(m.Name); err == nil {
+			t.Errorf("%s leaked into the paper's evaluation zoo", m.Name)
+		}
+	}
+}
+
+// Published MAC counts: single-tower (ungrouped) AlexNet ~1.1 G,
+// ResNet-18 ~1.8 G, one BERT-base block at 256 tokens ~1.9 G.
+func TestExtendedModelMACs(t *testing.T) {
+	cases := []struct {
+		model  Model
+		lo, hi int64
+	}{
+		{AlexNet(), 1_000_000_000, 1_300_000_000},
+		{ResNet18(), 1_500_000_000, 2_200_000_000},
+		{BERTBase(), 1_600_000_000, 2_200_000_000},
+	}
+	for _, c := range cases {
+		if macs := c.model.TotalMACs(); macs < c.lo || macs > c.hi {
+			t.Errorf("%s MACs = %d, want in [%d, %d]", c.model.Name, macs, c.lo, c.hi)
+		}
+	}
+}
+
+func TestAlexNetShapes(t *testing.T) {
+	m := AlexNet()
+	if m.Layers[0].OutX() != 55 {
+		t.Fatalf("conv1 out = %d, want 55", m.Layers[0].OutX())
+	}
+	if m.Layers[1].OutX() != 27 {
+		t.Fatalf("conv2 out = %d, want 27", m.Layers[1].OutX())
+	}
+}
+
+func TestResNet18Shapes(t *testing.T) {
+	for _, l := range ResNet18().Layers {
+		if l.Name == "res5b" {
+			if l.OutX() != 7 {
+				t.Fatalf("res5b out = %d, want 7", l.OutX())
+			}
+			return
+		}
+	}
+	t.Fatal("res5b not found")
+}
+
+func TestBERTBaseIsGEMMOnly(t *testing.T) {
+	for _, l := range BERTBase().Layers {
+		if l.Op != OpGEMM {
+			t.Fatalf("layer %s is %v, want GEMM", l.Name, l.Op)
+		}
+	}
+}

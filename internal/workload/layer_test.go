@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDimString(t *testing.T) {
+	want := []string{"N", "K", "C", "R", "S", "X", "Y"}
+	for i, d := range AllDims {
+		if d.String() != want[i] {
+			t.Fatalf("dim %d = %q, want %q", i, d.String(), want[i])
+		}
+	}
+	if Dim(99).String() != "Dim(99)" {
+		t.Fatalf("out-of-range dim string = %q", Dim(99).String())
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpConv.String() != "CONV" || OpGEMM.String() != "GEMM" ||
+		OpDepthwise.String() != "DWCONV" || OpFC.String() != "FC" {
+		t.Fatal("unexpected op kind names")
+	}
+	if OpKind(42).String() != "OpKind(42)" {
+		t.Fatal("unexpected unknown op kind name")
+	}
+}
+
+func TestConvOutputDims(t *testing.T) {
+	l := Conv("c", 1, 64, 3, 3, 3, 226, 226)
+	if l.OutX() != 224 || l.OutY() != 224 {
+		t.Fatalf("out = %dx%d, want 224x224", l.OutX(), l.OutY())
+	}
+}
+
+func TestStridedOutputDims(t *testing.T) {
+	l := Conv("c", 1, 64, 3, 7, 7, 230, 230).Strided(2)
+	if l.OutX() != 112 {
+		t.Fatalf("strided out = %d, want 112", l.OutX())
+	}
+}
+
+func TestSizeUsesOutputExtent(t *testing.T) {
+	l := Conv("c", 2, 8, 4, 3, 3, 10, 12)
+	if l.Size(DimX) != 8 || l.Size(DimY) != 10 {
+		t.Fatalf("Size(X,Y) = %d,%d, want 8,10", l.Size(DimX), l.Size(DimY))
+	}
+	if l.Size(DimN) != 2 || l.Size(DimK) != 8 || l.Size(DimC) != 4 ||
+		l.Size(DimR) != 3 || l.Size(DimS) != 3 {
+		t.Fatal("unexpected dim sizes")
+	}
+	sizes := l.Sizes()
+	for i, d := range AllDims {
+		if sizes[i] != l.Size(d) {
+			t.Fatalf("Sizes[%d] mismatch", i)
+		}
+	}
+}
+
+func TestMACsKnown(t *testing.T) {
+	// 1x1 conv: MACs = K*C*X'*Y'.
+	l := Conv("c", 1, 16, 32, 1, 1, 4, 4)
+	if got := l.MACs(); got != 16*32*4*4 {
+		t.Fatalf("MACs = %d, want %d", got, 16*32*4*4)
+	}
+}
+
+func TestFromGEMMPreservesMACs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(64)
+		k := 1 + rng.Intn(64)
+		n := 1 + rng.Intn(64)
+		l := FromGEMM("g", m, k, n)
+		return l.MACs() == int64(m)*int64(k)*int64(n) &&
+			l.X*l.Y == n && l.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFC(t *testing.T) {
+	l := FromFC("fc", 2048, 1000)
+	if l.MACs() != 2048*1000 {
+		t.Fatalf("FC MACs = %d", l.MACs())
+	}
+	if l.Op != OpFC {
+		t.Fatal("FC op kind incorrect")
+	}
+}
+
+func TestFromDepthwisePreservesMACs(t *testing.T) {
+	// Depth-wise 3x3 over 32 channels at 16x16 output.
+	l := FromDepthwise("dw", 32, 3, 3, 18, 18, 1)
+	want := int64(32) * 3 * 3 * 16 * 16
+	if l.MACs() != want {
+		t.Fatalf("depthwise MACs = %d, want %d", l.MACs(), want)
+	}
+	if l.Op != OpDepthwise || l.K != 1 || l.C != 1 || l.N != 32 {
+		t.Fatalf("depthwise lowering shape unexpected: %+v", l)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Conv("g", 1, 2, 3, 3, 3, 8, 8)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid layer rejected: %v", err)
+	}
+	bad := good
+	bad.K = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero dimension accepted")
+	}
+	bad = good
+	bad.R = 10
+	if bad.Validate() == nil {
+		t.Fatal("filter larger than input accepted")
+	}
+	bad = good
+	bad.StrideX = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero stride accepted")
+	}
+	bad = good
+	bad.Repeat = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero repeat accepted")
+	}
+}
+
+func TestElemCounts(t *testing.T) {
+	l := Conv("c", 2, 4, 3, 3, 3, 10, 10)
+	if l.InputElems() != 2*3*10*10 {
+		t.Fatal("input elems incorrect")
+	}
+	if l.WeightElems() != 4*3*3*3 {
+		t.Fatal("weight elems incorrect")
+	}
+	if l.OutputElems() != 2*4*8*8 {
+		t.Fatal("output elems incorrect")
+	}
+}
+
+func TestTimes(t *testing.T) {
+	l := Conv("c", 1, 2, 3, 3, 3, 8, 8).Times(4)
+	if l.Repeat != 4 {
+		t.Fatalf("repeat = %d, want 4", l.Repeat)
+	}
+}
+
+func TestFactorNearSquare(t *testing.T) {
+	cases := []struct{ n, x, y int }{
+		{1, 1, 1}, {16, 4, 4}, {128, 8, 16}, {7, 1, 7}, {12, 3, 4},
+	}
+	for _, c := range cases {
+		x, y := factorNear(c.n)
+		if x != c.x || y != c.y {
+			t.Fatalf("factorNear(%d) = %d,%d, want %d,%d", c.n, x, y, c.x, c.y)
+		}
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	s := Conv("c", 1, 2, 3, 3, 3, 8, 8).String()
+	if s == "" {
+		t.Fatal("empty layer string")
+	}
+}

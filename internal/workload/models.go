@@ -1,0 +1,277 @@
+package workload
+
+import "fmt"
+
+// Model is a named sequence of CONV-space layers. Layers with identical
+// shapes are stored once with a Repeat count.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Validate validates every layer of the model.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("workload: model %q has no layers", m.Name)
+	}
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("model %q: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// TotalMACs returns the repeat-weighted MAC count of the whole model.
+func (m Model) TotalMACs() int64 {
+	var s int64
+	for _, l := range m.Layers {
+		s += l.MACs() * int64(l.Repeat)
+	}
+	return s
+}
+
+// VGG16 returns the 13 convolutional and 3 fully connected layers of
+// VGG16 (Simonyan & Zisserman) at 224×224 input, batch 1. Inputs to each
+// convolution are padded by 1, which we fold into the X/Y extents so that
+// output extents match the published architecture.
+func VGG16() Model {
+	return Model{
+		Name: "VGG16",
+		Layers: []Layer{
+			Conv("conv1_1", 1, 64, 3, 3, 3, 226, 226),
+			Conv("conv1_2", 1, 64, 64, 3, 3, 226, 226),
+			Conv("conv2_1", 1, 128, 64, 3, 3, 114, 114),
+			Conv("conv2_2", 1, 128, 128, 3, 3, 114, 114),
+			Conv("conv3_1", 1, 256, 128, 3, 3, 58, 58),
+			Conv("conv3_2", 1, 256, 256, 3, 3, 58, 58).Times(2),
+			Conv("conv4_1", 1, 512, 256, 3, 3, 30, 30),
+			Conv("conv4_2", 1, 512, 512, 3, 3, 30, 30).Times(2),
+			Conv("conv5", 1, 512, 512, 3, 3, 16, 16).Times(3),
+			FromFC("fc6", 25088, 4096),
+			FromFC("fc7", 4096, 4096),
+			FromFC("fc8", 4096, 1000),
+		},
+	}
+}
+
+// ResNet50 returns the unique layer shapes of ResNet-50 (He et al.) at
+// 224×224 input, batch 1, with Repeat counts covering the bottleneck
+// blocks of each stage. Projection shortcuts are included.
+func ResNet50() Model {
+	ls := []Layer{
+		Conv("conv1", 1, 64, 3, 7, 7, 230, 230).Strided(2),
+	}
+	// Each stage: bottleneck blocks [1x1 reduce, 3x3, 1x1 expand].
+	// Stage parameters: spatial extent of the 3x3 (output side), mid
+	// channels, output channels, block count.
+	stages := []struct {
+		name          string
+		side          int // output spatial side of this stage
+		mid, out, in  int
+		blocks        int
+		entryStride   int // stride of the first 3x3 in the stage
+		entrySpatialX int // padded input side for the strided 3x3
+	}{
+		{"res2", 56, 64, 256, 64, 3, 1, 58},
+		{"res3", 28, 128, 512, 256, 4, 2, 58},
+		{"res4", 14, 256, 1024, 512, 6, 2, 30},
+		{"res5", 7, 512, 2048, 1024, 3, 2, 16},
+	}
+	for _, st := range stages {
+		pad := st.side + 2 // 3x3 pad-1 input side for stride-1 blocks
+		// First block of the stage (may downsample).
+		ls = append(ls,
+			Conv(st.name+"a_1x1r", 1, st.mid, st.in, 1, 1, st.entrySpatialX-2, st.entrySpatialX-2).Strided(st.entryStride),
+			Conv(st.name+"a_3x3", 1, st.mid, st.mid, 3, 3, pad, pad),
+			Conv(st.name+"a_1x1e", 1, st.out, st.mid, 1, 1, st.side, st.side),
+			Conv(st.name+"a_proj", 1, st.out, st.in, 1, 1, st.entrySpatialX-2, st.entrySpatialX-2).Strided(st.entryStride),
+		)
+		// Remaining identical blocks.
+		if st.blocks > 1 {
+			n := st.blocks - 1
+			ls = append(ls,
+				Conv(st.name+"b_1x1r", 1, st.mid, st.out, 1, 1, st.side, st.side).Times(n),
+				Conv(st.name+"b_3x3", 1, st.mid, st.mid, 3, 3, pad, pad).Times(n),
+				Conv(st.name+"b_1x1e", 1, st.out, st.mid, 1, 1, st.side, st.side).Times(n),
+			)
+		}
+	}
+	ls = append(ls, FromFC("fc", 2048, 1000))
+	return Model{Name: "ResNet-50", Layers: ls}
+}
+
+// MobileNetV2 returns the unique layer shapes of MobileNetV2 (Sandler et
+// al.) at 224×224 input, batch 1. Each inverted-residual bottleneck is
+// lowered to three layers: a 1×1 expansion, a depth-wise 3×3 (decomposed
+// per channel via FromDepthwise), and a 1×1 projection.
+func MobileNetV2() Model {
+	ls := []Layer{
+		Conv("conv0", 1, 32, 3, 3, 3, 226, 226).Strided(2),
+	}
+	// Inverted residual settings (t expansion, c output, n repeats,
+	// s stride of the first block), from Table 2 of the paper, plus the
+	// spatial side of each stage's input.
+	type ir struct {
+		name       string
+		t, c, n, s int
+		in         int // input channels
+		side       int // input spatial side (pre-stride)
+	}
+	cfg := []ir{
+		{"b1", 1, 16, 1, 1, 32, 112},
+		{"b2", 6, 24, 2, 2, 16, 112},
+		{"b3", 6, 32, 3, 2, 24, 56},
+		{"b4", 6, 64, 4, 2, 32, 28},
+		{"b5", 6, 96, 3, 1, 64, 14},
+		{"b6", 6, 160, 3, 2, 96, 14},
+		{"b7", 6, 320, 1, 1, 160, 7},
+	}
+	for _, b := range cfg {
+		exp := b.in * b.t
+		outSide := b.side / b.s
+		// First block (possibly strided).
+		if b.t > 1 {
+			ls = append(ls, Conv(b.name+"a_exp", 1, exp, b.in, 1, 1, b.side, b.side))
+		}
+		ls = append(ls,
+			FromDepthwise(b.name+"a_dw", exp, 3, 3, b.side+2-(b.s-1)*1, b.side+2-(b.s-1)*1, b.s),
+			Conv(b.name+"a_proj", 1, b.c, exp, 1, 1, outSide, outSide),
+		)
+		// Remaining stride-1 blocks at the output resolution.
+		if b.n > 1 {
+			n := b.n - 1
+			exp2 := b.c * b.t
+			ls = append(ls,
+				Conv(b.name+"b_exp", 1, exp2, b.c, 1, 1, outSide, outSide).Times(n),
+				FromDepthwise(b.name+"b_dw", exp2, 3, 3, outSide+2, outSide+2, 1).Times(n),
+				Conv(b.name+"b_proj", 1, b.c, exp2, 1, 1, outSide, outSide).Times(n),
+			)
+		}
+	}
+	ls = append(ls,
+		Conv("conv_last", 1, 1280, 320, 1, 1, 7, 7),
+		FromFC("fc", 1280, 1000),
+	)
+	return Model{Name: "MobileNetV2", Layers: ls}
+}
+
+// MnasNet returns the unique layer shapes of MnasNet-A1 (Tan et al.) at
+// 224×224 input, batch 1. Squeeze-and-excitation blocks are lowered to
+// their two fully connected layers; MBConv blocks are lowered like
+// MobileNetV2's inverted residuals, including 5×5 depth-wise variants.
+func MnasNet() Model {
+	ls := []Layer{
+		Conv("conv0", 1, 32, 3, 3, 3, 226, 226).Strided(2),
+		// SepConv 3x3, 32 -> 16 at 112.
+		FromDepthwise("sep_dw", 32, 3, 3, 114, 114, 1),
+		Conv("sep_pw", 1, 16, 32, 1, 1, 112, 112),
+	}
+	type mb struct {
+		name          string
+		t, k, c, n, s int
+		in, side      int
+		se            bool
+	}
+	cfg := []mb{
+		{"mb1", 6, 3, 24, 2, 2, 16, 112, false},
+		{"mb2", 3, 5, 40, 3, 2, 24, 56, true},
+		{"mb3", 6, 3, 80, 4, 2, 40, 28, false},
+		{"mb4", 6, 3, 112, 2, 1, 80, 14, true},
+		{"mb5", 6, 5, 160, 3, 2, 112, 14, true},
+		{"mb6", 6, 3, 320, 1, 1, 160, 7, false},
+	}
+	for _, b := range cfg {
+		exp := b.in * b.t
+		outSide := b.side / b.s
+		pad := b.k / 2
+		ls = append(ls,
+			Conv(b.name+"a_exp", 1, exp, b.in, 1, 1, b.side, b.side),
+			FromDepthwise(b.name+"a_dw", exp, b.k, b.k, b.side+2*pad-(b.s-1), b.side+2*pad-(b.s-1), b.s),
+			Conv(b.name+"a_proj", 1, b.c, exp, 1, 1, outSide, outSide),
+		)
+		if b.se {
+			sq := exp / 4
+			if sq < 1 {
+				sq = 1
+			}
+			ls = append(ls,
+				FromFC(b.name+"a_se1", exp, sq),
+				FromFC(b.name+"a_se2", sq, exp),
+			)
+		}
+		if b.n > 1 {
+			n := b.n - 1
+			exp2 := b.c * b.t
+			ls = append(ls,
+				Conv(b.name+"b_exp", 1, exp2, b.c, 1, 1, outSide, outSide).Times(n),
+				FromDepthwise(b.name+"b_dw", exp2, b.k, b.k, outSide+2*pad, outSide+2*pad, 1).Times(n),
+				Conv(b.name+"b_proj", 1, b.c, exp2, 1, 1, outSide, outSide).Times(n),
+			)
+			if b.se {
+				sq := exp2 / 4
+				ls = append(ls,
+					FromFC(b.name+"b_se1", exp2, sq).Times(n),
+					FromFC(b.name+"b_se2", sq, exp2).Times(n),
+				)
+			}
+		}
+	}
+	ls = append(ls,
+		Conv("conv_last", 1, 1280, 320, 1, 1, 7, 7),
+		FromFC("fc", 1280, 1000),
+	)
+	return Model{Name: "MnasNet", Layers: ls}
+}
+
+// Transformer returns a single Transformer encoder block (Vaswani et al.,
+// base configuration: d_model = 512, 8 heads, d_ff = 2048) over a
+// 128-token sequence, the building block of ALBERT-style NLP models. All
+// GEMMs are lowered to 1×1 CONVs via col2im; per-head attention GEMMs
+// carry Repeat counts for the 8 heads.
+func Transformer() Model {
+	const (
+		seq   = 128
+		dm    = 512
+		heads = 8
+		dh    = dm / heads // 64
+		dff   = 2048
+	)
+	return Model{
+		Name: "Transformer",
+		Layers: []Layer{
+			// Q, K, V projections: (dm×dm)·(dm×seq).
+			FromGEMM("qkv_proj", dm, dm, seq).Times(3),
+			// Attention scores per head: (seq×dh)·(dh×seq).
+			FromGEMM("attn_qk", seq, dh, seq).Times(heads),
+			// Attention-weighted values per head: (dh×seq)·(seq×seq).
+			FromGEMM("attn_v", dh, seq, seq).Times(heads),
+			// Output projection.
+			FromGEMM("out_proj", dm, dm, seq),
+			// Feed-forward network.
+			FromGEMM("ffn1", dff, dm, seq),
+			FromGEMM("ffn2", dm, dff, seq),
+		},
+	}
+}
+
+// Models returns the five evaluation models in the order the paper's
+// figures present them.
+func Models() []Model {
+	return []Model{VGG16(), ResNet50(), MobileNetV2(), MnasNet(), Transformer()}
+}
+
+// ByName returns the model with the given name (case-sensitive, matching
+// the names used by Models) or an error listing the available names.
+func ByName(name string) (Model, error) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	names := make([]string, 0, 5)
+	for _, m := range Models() {
+		names = append(names, m.Name)
+	}
+	return Model{}, fmt.Errorf("workload: unknown model %q (available: %v)", name, names)
+}

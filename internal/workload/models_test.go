@@ -1,0 +1,196 @@
+package workload
+
+import "testing"
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, m := range Models() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestModelsOrderAndNames(t *testing.T) {
+	want := []string{"VGG16", "ResNet-50", "MobileNetV2", "MnasNet", "Transformer"}
+	ms := Models()
+	if len(ms) != len(want) {
+		t.Fatalf("got %d models, want %d", len(ms), len(want))
+	}
+	for i, m := range ms {
+		if m.Name != want[i] {
+			t.Fatalf("model %d = %q, want %q", i, m.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("ResNet-50")
+	if err != nil || m.Name != "ResNet-50" {
+		t.Fatalf("ByName failed: %v", err)
+	}
+	if _, err := ByName("NoSuchModel"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+// Published MAC counts (batch 1, 224x224 where applicable):
+//
+//	VGG16       ~15.5 GMACs (incl. ~124M FC MACs)
+//	ResNet-50   ~3.9-4.1 GMACs
+//	MobileNetV2 ~300 MMACs
+//	MnasNet-A1  ~310-330 MMACs
+//
+// Our layer tables should land near these; generous bands absorb the
+// padding-folding approximation.
+func TestModelMACsNearPublished(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi int64
+	}{
+		{"VGG16", 14_000_000_000, 17_000_000_000},
+		{"ResNet-50", 3_300_000_000, 4_700_000_000},
+		{"MobileNetV2", 220_000_000, 420_000_000},
+		{"MnasNet", 230_000_000, 450_000_000},
+		{"Transformer", 350_000_000, 500_000_000},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		macs := m.TotalMACs()
+		if macs < c.lo || macs > c.hi {
+			t.Errorf("%s MACs = %d, want in [%d, %d]", c.name, macs, c.lo, c.hi)
+		}
+	}
+}
+
+func TestVGG16LayerShapes(t *testing.T) {
+	m := VGG16()
+	first := m.Layers[0]
+	if first.C != 3 || first.K != 64 || first.OutX() != 224 {
+		t.Fatalf("conv1_1 shape unexpected: %+v", first)
+	}
+	// 13 conv shapes collapse to 10 unique entries + 3 FC.
+	if len(m.Layers) != 12 {
+		t.Fatalf("VGG16 has %d unique layers, want 12", len(m.Layers))
+	}
+	var convCount int
+	for _, l := range m.Layers {
+		if l.Op == OpConv {
+			convCount += l.Repeat
+		}
+	}
+	if convCount != 13 {
+		t.Fatalf("VGG16 has %d conv layers (with repeats), want 13", convCount)
+	}
+}
+
+func TestResNet50StageOutputs(t *testing.T) {
+	m := ResNet50()
+	if m.Layers[0].OutX() != 112 {
+		t.Fatalf("conv1 output = %d, want 112", m.Layers[0].OutX())
+	}
+	// Find the res5 3x3 and check it computes at 7x7.
+	for _, l := range m.Layers {
+		if l.Name == "res5a_3x3" {
+			if l.OutX() != 7 || l.OutY() != 7 {
+				t.Fatalf("res5a_3x3 output = %dx%d, want 7x7", l.OutX(), l.OutY())
+			}
+			return
+		}
+	}
+	t.Fatal("res5a_3x3 not found")
+}
+
+func TestResNet50BlockCounts(t *testing.T) {
+	// ResNet-50 has 3+4+6+3 = 16 bottleneck blocks = 48 convs in blocks,
+	// plus conv1, 4 projections, and the FC.
+	m := ResNet50()
+	var convs int
+	for _, l := range m.Layers {
+		if l.Op == OpConv {
+			convs += l.Repeat
+		}
+	}
+	if convs != 1+48+4 {
+		t.Fatalf("ResNet-50 conv count = %d, want 53", convs)
+	}
+}
+
+func TestMobileNetV2DepthwisePresent(t *testing.T) {
+	m := MobileNetV2()
+	var dw, pw int
+	for _, l := range m.Layers {
+		switch l.Op {
+		case OpDepthwise:
+			dw += l.Repeat
+		case OpConv:
+			pw += l.Repeat
+		}
+	}
+	// 17 inverted-residual blocks => 17 depth-wise convolutions.
+	if dw != 17 {
+		t.Fatalf("MobileNetV2 depthwise count = %d, want 17", dw)
+	}
+	if pw == 0 {
+		t.Fatal("MobileNetV2 has no pointwise convs")
+	}
+}
+
+func TestMobileNetV2SpatialChain(t *testing.T) {
+	// The final projection should compute at 7x7.
+	m := MobileNetV2()
+	for _, l := range m.Layers {
+		if l.Name == "b7a_proj" {
+			if l.OutX() != 7 {
+				t.Fatalf("b7a_proj out = %d, want 7", l.OutX())
+			}
+			return
+		}
+	}
+	t.Fatal("b7a_proj not found")
+}
+
+func TestMnasNetHasSEAndFiveByFive(t *testing.T) {
+	m := MnasNet()
+	var se, five int
+	for _, l := range m.Layers {
+		if l.Op == OpFC && l.Name != "fc" {
+			se++
+		}
+		if l.Op == OpDepthwise && l.R == 5 {
+			five++
+		}
+	}
+	if se == 0 {
+		t.Fatal("MnasNet squeeze-excitation layers missing")
+	}
+	if five == 0 {
+		t.Fatal("MnasNet 5x5 depthwise layers missing")
+	}
+}
+
+func TestTransformerIsAllGEMM(t *testing.T) {
+	m := Transformer()
+	for _, l := range m.Layers {
+		if l.Op != OpGEMM {
+			t.Fatalf("layer %s op = %v, want GEMM", l.Name, l.Op)
+		}
+		if l.R != 1 || l.S != 1 {
+			t.Fatalf("layer %s not lowered to 1x1 conv", l.Name)
+		}
+	}
+	// 8 attention heads on both score and value GEMMs.
+	for _, l := range m.Layers {
+		if l.Name == "attn_qk" && l.Repeat != 8 {
+			t.Fatalf("attn_qk repeat = %d, want 8", l.Repeat)
+		}
+	}
+}
+
+func TestEmptyModelInvalid(t *testing.T) {
+	if err := (Model{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("empty model accepted")
+	}
+}
