@@ -9,6 +9,7 @@ import (
 
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
+	"spotlight/internal/pool"
 	"spotlight/internal/sched"
 	"spotlight/internal/workload"
 )
@@ -33,6 +34,15 @@ type RunConfig struct {
 	SWConstraint sched.Constraint // software space; zero value means Free
 	Seed         int64
 	Eval         Evaluator
+	// Workers bounds how many layers are optimized concurrently within
+	// one hardware sample; the per-layer software searches are
+	// independent given a fixed accelerator, so they scale with cores.
+	// 0 means GOMAXPROCS, 1 forces sequential execution. Results are
+	// bit-identical at every setting: each (sample, layer) search owns
+	// an RNG seeded deterministically from Seed. The Evaluator must be
+	// safe for concurrent Evaluate calls when Workers != 1 (the bundled
+	// analytical models and the sim backend all are).
+	Workers int
 }
 
 // normalized fills defaults and validates.
@@ -128,6 +138,14 @@ type SWProposer interface {
 // run. Spotlight, its ablation variants, and the prior-work tools are all
 // Strategies over the same nested driver, so Figure 10's comparison is
 // apples-to-apples.
+//
+// Concurrency contract: NewSW is always invoked sequentially, in layer
+// order, but the returned proposer's Suggest/Observe loop may run on a
+// worker goroutine concurrently with other layers' proposers. A proposer
+// must therefore confine its mutable state (including the rng it was
+// given, which is owned by that one proposer) to itself; only the
+// Strategy value itself needs internal locking for any cross-layer
+// bookkeeping.
 type Strategy interface {
 	Name() string
 	NewHW(cfg RunConfig, rng *rand.Rand) HWProposer
@@ -167,7 +185,7 @@ func Run(cfg RunConfig, strat Strategy) (Result, error) {
 
 	for t := 1; t <= cfg.HWSamples; t++ {
 		accel := hwSearch.Suggest()
-		design, derr := evaluateHardware(cfg, strat, rng, accel, layers, swBudget)
+		design, derr := evaluateHardware(cfg, strat, accel, layers, swBudget, t)
 		hwSearch.Observe(accel, design.Objective, derr)
 
 		value := design.Objective
@@ -196,12 +214,33 @@ func Run(cfg RunConfig, strat Strategy) (Result, error) {
 	return res, nil
 }
 
+// deriveSeed mixes the run seed with stream indices (hardware sample,
+// layer) through a splitmix64-style finalizer, giving every per-layer
+// search an independent, decorrelated RNG that is bit-reproducible at
+// any worker count.
+func deriveSeed(seed int64, streams ...int64) int64 {
+	z := uint64(seed)
+	for _, s := range streams {
+		z ^= uint64(s) + 0x9e3779b97f4a7c15 + (z << 6) + (z >> 2)
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}
+
 // evaluateHardware runs the per-layer software optimization for one
-// hardware sample and aggregates the objective. It returns an error
-// wrapping maestro.ErrInvalid when the hardware is out of budget,
-// structurally invalid, or has a layer with no feasible schedule.
-func evaluateHardware(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Accel,
-	layers []modelLayer, swBudget int) (Design, error) {
+// hardware sample and aggregates the objective. The layer searches are
+// independent given the fixed accelerator, so they run on a bounded
+// worker pool (cfg.Workers wide); every layer owns an RNG seeded from
+// (Seed, sample, layer), which makes the outcome identical whether the
+// layers run sequentially or in parallel. It returns an error wrapping
+// maestro.ErrInvalid when the hardware is out of budget, structurally
+// invalid, or has a layer with no feasible schedule (the lowest-index
+// infeasible layer is reported, for determinism).
+func evaluateHardware(cfg RunConfig, strat Strategy, accel hw.Accel,
+	layers []modelLayer, swBudget, sample int) (Design, error) {
 
 	design := Design{Accel: accel, Objective: math.Inf(1)}
 	if err := accel.Validate(); err != nil {
@@ -211,19 +250,32 @@ func evaluateHardware(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Ac
 		return design, fmt.Errorf("%w: %v", maestro.ErrInvalid, err)
 	}
 
+	// Proposers are built sequentially, in layer order, so strategies
+	// with order-dependent bookkeeping (e.g. Spotlight retaining the last
+	// software searcher for Figure 9) behave identically at every worker
+	// count; only the sampling loops run concurrently.
+	sws := make([]SWProposer, len(layers))
+	for i, ml := range layers {
+		rng := rand.New(rand.NewSource(deriveSeed(cfg.Seed, int64(sample), int64(i))))
+		sws[i] = strat.NewSW(cfg, rng, accel, ml.layer)
+	}
+	design.Layers = make([]LayerResult, len(layers))
+	pool.Run(len(layers), cfg.Workers, func(i int) {
+		lr := runLayerSearch(cfg, sws[i], accel, layers[i].layer, swBudget)
+		lr.Model = layers[i].model
+		design.Layers[i] = lr
+	})
+
 	perModelEnergy := map[string]float64{}
 	perModelDelay := map[string]float64{}
-	for _, ml := range layers {
-		lr := OptimizeLayer(cfg, strat, rng, accel, ml.layer, swBudget)
-		lr.Model = ml.model
-		design.Layers = append(design.Layers, lr)
+	for _, lr := range design.Layers {
 		if !lr.Valid {
 			return design, fmt.Errorf("%w: layer %s has no feasible schedule on %s",
-				maestro.ErrInvalid, ml.layer.Name, accel)
+				maestro.ErrInvalid, lr.Layer.Name, accel)
 		}
-		rep := float64(ml.layer.Repeat)
-		perModelEnergy[ml.model] += rep * lr.Cost.EnergyNJ
-		perModelDelay[ml.model] += rep * lr.Cost.DelayCycles
+		rep := float64(lr.Layer.Repeat)
+		perModelEnergy[lr.Model] += rep * lr.Cost.EnergyNJ
+		perModelDelay[lr.Model] += rep * lr.Cost.DelayCycles
 	}
 	var total float64
 	for m := range perModelEnergy {
@@ -238,8 +290,13 @@ func evaluateHardware(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Ac
 // best schedule found. Valid is false when every sample was infeasible.
 func OptimizeLayer(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Accel,
 	layer workload.Layer, budget int) LayerResult {
+	return runLayerSearch(cfg, strat.NewSW(cfg, rng, accel, layer), accel, layer, budget)
+}
 
-	sw := strat.NewSW(cfg, rng, accel, layer)
+// runLayerSearch drives one software proposer through its sample budget.
+func runLayerSearch(cfg RunConfig, sw SWProposer, accel hw.Accel,
+	layer workload.Layer, budget int) LayerResult {
+
 	best := LayerResult{Layer: layer}
 	bestObj := math.Inf(1)
 	for i := 0; i < budget; i++ {
@@ -271,8 +328,7 @@ func OptimizeSoftware(cfg RunConfig, strat Strategy, accel hw.Accel) (Design, er
 	if err != nil {
 		return Design{}, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	design, derr := evaluateHardware(cfg, strat, rng, accel, collectLayers(cfg.Models), strat.SWBudget(cfg))
+	design, derr := evaluateHardware(cfg, strat, accel, collectLayers(cfg.Models), strat.SWBudget(cfg), 0)
 	if derr != nil {
 		return design, derr
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"spotlight/internal/hw"
@@ -94,6 +96,60 @@ func TestRunDeterministicForSeed(t *testing.T) {
 	}
 	if r3.Best.Objective == r1.Best.Objective {
 		t.Log("warning: different seeds produced identical objectives (possible but unlikely)")
+	}
+}
+
+// stripElapsed copies a history with the wall-clock column zeroed, so
+// determinism tests can compare the search trajectory byte for byte.
+func stripElapsed(h []HistoryPoint) []HistoryPoint {
+	out := append([]HistoryPoint(nil), h...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	base := tinyConfig(21)
+	var ref Result
+	for i, workers := range []int{1, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(cfg, NewSpotlight())
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(stripElapsed(ref.History), stripElapsed(res.History)) {
+			t.Fatalf("Workers=%d produced a different history than Workers=1", workers)
+		}
+		if ref.Best.Objective != res.Best.Objective {
+			t.Fatalf("Workers=%d best %v != Workers=1 best %v", workers, res.Best.Objective, ref.Best.Objective)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := tinyConfig(23) // Workers=0: pool width follows GOMAXPROCS
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	r1, err := Run(cfg, NewSpotlight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	r2, err := Run(cfg, NewSpotlight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripElapsed(r1.History), stripElapsed(r2.History)) {
+		t.Fatal("history differs between GOMAXPROCS=1 and GOMAXPROCS=NumCPU")
+	}
+	if r1.Best.Objective != r2.Best.Objective {
+		t.Fatalf("best objective differs: %v vs %v", r1.Best.Objective, r2.Best.Objective)
 	}
 }
 

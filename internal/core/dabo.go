@@ -31,9 +31,17 @@ type DABO struct {
 	y       []float64 // log costs
 	invalid [][]float64
 
-	model       *gp.GP
+	// primal is the incremental sufficient-statistics accumulator used
+	// when the kernel is gp.Linear: fits cost O(d³) and predictions O(d)
+	// instead of the dense GP's O(n³)/O(n²). Other kernels have no finite
+	// feature map and fall back to the dense path.
+	primal      *gp.PrimalStats
+	model       gp.Predictor
 	staleness   int
 	fitAttempts int
+
+	// Reusable batch-prediction buffers for SuggestIndex.
+	means, stds []float64
 }
 
 // DABOOption configures a DABO instance.
@@ -47,8 +55,10 @@ func WithKappa(k float64) DABOOption { return func(d *DABO) { d.kappa = k } }
 func WithWarmup(n int) DABOOption { return func(d *DABO) { d.warmup = n } }
 
 // WithRefitEvery sets how many new observations accumulate before the
-// surrogate is refit (default 4). Refitting costs O(n³), so batching
-// refits keeps the search loop fast without materially changing behavior.
+// surrogate is refit (default 4). A linear-kernel refit is O(d³) from
+// incrementally maintained statistics; other kernels pay the dense GP's
+// O(n³), so batching refits keeps their search loop fast without
+// materially changing behavior.
 func WithRefitEvery(n int) DABOOption { return func(d *DABO) { d.refitEvery = n } }
 
 // WithNoise sets the surrogate's observation noise variance (default 1e-4).
@@ -69,6 +79,9 @@ func NewDABO(kernel gp.Kernel, rng *rand.Rand, opts ...DABOOption) *DABO {
 	for _, o := range opts {
 		o(d)
 	}
+	if lin, ok := kernel.(gp.Linear); ok {
+		d.primal = gp.NewPrimalStats(lin.Bias, d.noise)
+	}
 	return d
 }
 
@@ -80,14 +93,21 @@ func (d *DABO) Observations() (valid, invalid int) {
 // Observe records a valid design's feature vector and its (positive)
 // cost.
 func (d *DABO) Observe(features []float64, cost float64) {
+	logCost := math.Log(math.Max(cost, math.SmallestNonzeroFloat64))
 	d.x = append(d.x, append([]float64(nil), features...))
-	d.y = append(d.y, math.Log(math.Max(cost, math.SmallestNonzeroFloat64)))
+	d.y = append(d.y, logCost)
+	if d.primal != nil {
+		d.primal.Add(features, logCost)
+	}
 	d.staleness++
 }
 
 // ObserveInvalid records that a design point was infeasible.
 func (d *DABO) ObserveInvalid(features []float64) {
 	d.invalid = append(d.invalid, append([]float64(nil), features...))
+	if d.primal != nil {
+		d.primal.AddPenalized(features)
+	}
 	d.staleness++
 }
 
@@ -104,51 +124,83 @@ func (d *DABO) SuggestIndex(candidates [][]float64) int {
 	if err := d.ensureFit(); err != nil {
 		return d.rng.Intn(len(candidates))
 	}
+	n := len(candidates)
+	if cap(d.means) < n {
+		d.means = make([]float64, n)
+		d.stds = make([]float64, n)
+	}
+	means, stds := d.means[:n], d.stds[:n]
+	if err := d.model.PredictBatch(candidates, means, stds); err != nil {
+		return d.rng.Intn(n)
+	}
 	best := -1
 	bestAcq := math.Inf(1)
-	for i, c := range candidates {
-		mean, std, err := d.model.Predict(c)
-		if err != nil {
-			continue
-		}
-		if acq := gp.LCB(mean, std, d.kappa); acq < bestAcq {
+	for i := range candidates {
+		if acq := gp.LCB(means[i], stds[i], d.kappa); acq < bestAcq {
 			bestAcq = acq
 			best = i
 		}
 	}
 	if best < 0 {
-		return d.rng.Intn(len(candidates))
+		return d.rng.Intn(n)
 	}
 	return best
 }
 
+// allInvalidPenalty is the log-cost assigned to infeasible observations
+// while no valid observation exists yet. Any finite constant works — a
+// constant target standardizes to zero, so the surrogate is flat and
+// suggestions stay effectively random until the first valid point — but
+// defining it explicitly keeps the all-invalid fit well-specified
+// instead of inheriting an arbitrary offset from the zero value of the
+// running worst-cost tracker.
+const allInvalidPenalty = 0.0
+
+// invalidPenalty returns the log-cost assigned to infeasible points:
+// just above the worst valid observation, so the surrogate learns a
+// cliff without distorting the valid region's scale, or the explicit
+// all-invalid constant when nothing valid has been seen.
+func (d *DABO) invalidPenalty() float64 {
+	if len(d.y) == 0 {
+		return allInvalidPenalty
+	}
+	worst := d.y[0]
+	for _, v := range d.y[1:] {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst + 2 // ≈ 7.4× the worst valid cost, in log space
+}
+
 // ensureFit refits the surrogate if enough new observations accumulated.
+// Each refit produces a fresh immutable model; linear kernels take the
+// primal path (O(d³) from the incrementally maintained statistics),
+// every other kernel rebuilds the dense GP.
 func (d *DABO) ensureFit() error {
 	if d.model != nil && d.staleness < d.refitEvery {
+		return nil
+	}
+	if len(d.x)+len(d.invalid) == 0 {
+		return gp.ErrNoData
+	}
+	penalty := d.invalidPenalty()
+	if d.primal != nil {
+		m, err := d.primal.Fit(penalty)
+		if err != nil {
+			return err
+		}
+		d.model = m
+		d.staleness = 0
 		return nil
 	}
 	x := make([][]float64, 0, len(d.x)+len(d.invalid))
 	y := make([]float64, 0, len(d.x)+len(d.invalid))
 	x = append(x, d.x...)
 	y = append(y, d.y...)
-	if len(d.invalid) > 0 {
-		// Penalize infeasible points just above the worst valid cost, so
-		// the surrogate learns a cliff without distorting the valid
-		// region's scale.
-		worst := 0.0
-		for i, v := range d.y {
-			if i == 0 || v > worst {
-				worst = v
-			}
-		}
-		penalty := worst + 2 // ≈ 7.4× the worst valid cost, in log space
-		for _, f := range d.invalid {
-			x = append(x, f)
-			y = append(y, penalty)
-		}
-	}
-	if len(x) == 0 {
-		return gp.ErrNoData
+	for _, f := range d.invalid {
+		x = append(x, f)
+		y = append(y, penalty)
 	}
 	m := gp.New(d.kernel, d.noise)
 	if err := m.Fit(x, y); err != nil {
@@ -162,7 +214,7 @@ func (d *DABO) ensureFit() error {
 // Surrogate returns the fitted surrogate (refitting if stale), for
 // analyses such as permutation importance. It returns nil when no model
 // can be fit yet.
-func (d *DABO) Surrogate() *gp.GP {
+func (d *DABO) Surrogate() gp.Predictor {
 	if err := d.ensureFit(); err != nil {
 		return nil
 	}

@@ -119,6 +119,75 @@ func TestDABOOnlyInvalidObservations(t *testing.T) {
 	}
 }
 
+func TestDABOAllInvalidPenaltyWellDefined(t *testing.T) {
+	// Regression: with zero valid observations the penalty used to be
+	// derived from an empty worst-valid scan. The surrogate must instead
+	// train on the explicit all-invalid penalty and stay finite.
+	for _, kernel := range []gp.Kernel{gp.Linear{Bias: 1}, gp.RBF{LengthScale: 1, Variance: 1}} {
+		rng := rand.New(rand.NewSource(5))
+		d := NewDABO(kernel, rng, WithWarmup(0), WithRefitEvery(1))
+		for i := 0; i < 8; i++ {
+			d.ObserveInvalid([]float64{float64(i), 1})
+		}
+		d.SuggestIndex([][]float64{{0, 1}, {4, 1}}) // forces a fit
+		m := d.Surrogate()
+		if m == nil {
+			t.Fatalf("%s: no surrogate after invalid-only observations", kernel.Name())
+		}
+		mean, std, err := m.Predict([]float64{3, 1})
+		if err != nil {
+			t.Fatalf("%s: predict failed: %v", kernel.Name(), err)
+		}
+		if math.IsNaN(mean) || math.IsInf(mean, 0) || math.IsNaN(std) || math.IsInf(std, 0) {
+			t.Fatalf("%s: non-finite posterior (%v, %v)", kernel.Name(), mean, std)
+		}
+		// All targets equal the constant penalty, so the posterior mean is
+		// flat at that constant.
+		if math.Abs(mean-allInvalidPenalty) > 1e-6 {
+			t.Fatalf("%s: mean = %v, want ≈ %v", kernel.Name(), mean, allInvalidPenalty)
+		}
+	}
+}
+
+// denseLinear defeats DABO's primal fast-path type assertion so the same
+// linear kernel runs through the dense GP, for cross-checking.
+type denseLinear struct{ gp.Linear }
+
+func (denseLinear) Name() string { return "linear-dense" }
+
+func TestDABOPrimalAgreesWithDenseGP(t *testing.T) {
+	// The primal fast path and the dense GP are the same posterior, so
+	// two otherwise-identical optimizers must make identical suggestions.
+	lin := gp.Linear{Bias: 1}
+	fast := NewDABO(lin, rand.New(rand.NewSource(12)), WithWarmup(0), WithRefitEvery(1))
+	slow := NewDABO(denseLinear{lin}, rand.New(rand.NewSource(12)), WithWarmup(0), WithRefitEvery(1))
+	if fast.Surrogate() != nil || slow.Surrogate() != nil {
+		t.Fatal("surrogate before data")
+	}
+	data := rand.New(rand.NewSource(99))
+	for i := 0; i < 30; i++ {
+		x := []float64{data.Float64() * 4, data.NormFloat64()}
+		if i%7 == 3 {
+			fast.ObserveInvalid(x)
+			slow.ObserveInvalid(x)
+			continue
+		}
+		y := 2*x[0] - x[1] + 0.05*data.NormFloat64()
+		fast.Observe(x, y)
+		slow.Observe(x, y)
+	}
+	for trial := 0; trial < 10; trial++ {
+		cands := make([][]float64, 16)
+		for i := range cands {
+			cands[i] = []float64{data.Float64() * 4, data.NormFloat64()}
+		}
+		fi, si := fast.SuggestIndex(cands), slow.SuggestIndex(cands)
+		if fi != si {
+			t.Fatalf("trial %d: primal picked %d, dense picked %d", trial, fi, si)
+		}
+	}
+}
+
 func TestDABOSurrogateExposed(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	d := NewDABO(gp.Linear{Bias: 1}, rng, WithWarmup(0), WithRefitEvery(1))

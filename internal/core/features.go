@@ -241,7 +241,7 @@ func Names(fs []Feature) []string {
 // matrix is shuffled and the mean absolute change in the surrogate's
 // prediction is recorded. Larger changes mean the surrogate leans harder
 // on that feature. The result has one entry per column of x.
-func PermutationImportance(model *gp.GP, x [][]float64, rng *rand.Rand) ([]float64, error) {
+func PermutationImportance(model gp.Predictor, x [][]float64, rng *rand.Rand) ([]float64, error) {
 	if len(x) == 0 {
 		return nil, gp.ErrNoData
 	}

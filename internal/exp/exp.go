@@ -19,11 +19,11 @@ package exp
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"spotlight/internal/core"
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
+	"spotlight/internal/pool"
 	"spotlight/internal/stats"
 	"spotlight/internal/workload"
 )
@@ -163,28 +163,17 @@ func normalizeRows(rows []Row, reference string) {
 	}
 }
 
-// forTrials runs fn once per trial index, concurrently when Parallel is
-// set, and returns the first error encountered (lowest trial index
-// wins, for determinism).
+// forTrials runs fn once per trial index on the shared bounded worker
+// pool — GOMAXPROCS-wide when Parallel is set, sequential otherwise —
+// and returns the first error encountered (lowest trial index wins, for
+// determinism).
 func (c Config) forTrials(fn func(trial int) error) error {
-	if !c.Parallel || c.Trials == 1 {
-		for t := 0; t < c.Trials; t++ {
-			if err := fn(t); err != nil {
-				return err
-			}
-		}
-		return nil
+	workers := 1
+	if c.Parallel {
+		workers = 0 // pool default: GOMAXPROCS
 	}
 	errs := make([]error, c.Trials)
-	var wg sync.WaitGroup
-	for t := 0; t < c.Trials; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			errs[t] = fn(t)
-		}(t)
-	}
-	wg.Wait()
+	pool.Run(c.Trials, workers, func(t int) { errs[t] = fn(t) })
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -17,6 +17,21 @@ import (
 	"spotlight/internal/linalg"
 )
 
+// Predictor is the read side of a fitted surrogate: the dense GP and the
+// primal linear surrogate both satisfy it, so daBO and the analysis code
+// are agnostic to which representation was fit. Implementations reuse
+// internal scratch buffers, so a single Predictor must not be used from
+// multiple goroutines concurrently.
+type Predictor interface {
+	// Predict returns the posterior mean and standard deviation at x, in
+	// the original target units.
+	Predict(x []float64) (mean, std float64, err error)
+	// PredictBatch predicts every row of xs into means[i] and stds[i]
+	// without per-candidate allocation. len(means) and len(stds) must
+	// equal len(xs).
+	PredictBatch(xs [][]float64, means, stds []float64) error
+}
+
 // Kernel is a positive semi-definite covariance function over feature
 // vectors.
 type Kernel interface {
@@ -96,6 +111,10 @@ type GP struct {
 	xMean, xStd []float64
 	yMean, yStd float64
 	fitted      bool
+
+	// Scratch buffers reused across Predict/PredictBatch calls; their
+	// presence makes a GP unsafe for concurrent prediction.
+	xbuf, kstar, ksolve []float64
 }
 
 // New returns a GP with the given kernel and observation noise variance
@@ -181,22 +200,59 @@ func (g *GP) standardize(x []float64) []float64 {
 
 // Predict returns the posterior mean and standard deviation at x, in the
 // original target units. It returns ErrNoData before a successful Fit.
+// Predict reuses internal scratch buffers; do not call it concurrently
+// on the same GP.
 func (g *GP) Predict(x []float64) (mean, std float64, err error) {
 	if !g.fitted {
 		return 0, 0, ErrNoData
 	}
+	return g.predictOne(x)
+}
+
+// PredictBatch implements Predictor: it ranks a whole candidate batch
+// with the O(n) kernel evaluations and O(n²) triangular solves of the
+// dual form, but factors every per-candidate allocation out into reused
+// scratch buffers.
+func (g *GP) PredictBatch(xs [][]float64, means, stds []float64) error {
+	if !g.fitted {
+		return ErrNoData
+	}
+	if len(means) != len(xs) || len(stds) != len(xs) {
+		return fmt.Errorf("gp: batch size mismatch: %d inputs, %d/%d outputs",
+			len(xs), len(means), len(stds))
+	}
+	for i, x := range xs {
+		m, s, err := g.predictOne(x)
+		if err != nil {
+			return err
+		}
+		means[i], stds[i] = m, s
+	}
+	return nil
+}
+
+// predictOne is the shared allocation-free prediction core.
+func (g *GP) predictOne(x []float64) (mean, std float64, err error) {
 	if len(x) != len(g.xMean) {
 		return 0, 0, fmt.Errorf("gp: input has %d features, trained on %d", len(x), len(g.xMean))
 	}
-	xs := g.standardize(x)
 	n := len(g.xs)
-	kstar := make([]float64, n)
-	for i := range g.xs {
-		kstar[i] = g.kernel.Eval(xs, g.xs[i])
+	if len(g.xbuf) != len(g.xMean) {
+		g.xbuf = make([]float64, len(g.xMean))
 	}
-	mu := linalg.Dot(kstar, g.alpha)
-	v := g.chol.SolveVec(kstar)
-	variance := g.kernel.Eval(xs, xs) + g.noise - linalg.Dot(kstar, v)
+	if len(g.kstar) != n {
+		g.kstar = make([]float64, n)
+		g.ksolve = make([]float64, n)
+	}
+	for i := range x {
+		g.xbuf[i] = (x[i] - g.xMean[i]) / g.xStd[i]
+	}
+	for i := range g.xs {
+		g.kstar[i] = g.kernel.Eval(g.xbuf, g.xs[i])
+	}
+	mu := linalg.Dot(g.kstar, g.alpha)
+	g.chol.SolveVecTo(g.ksolve, g.kstar)
+	variance := g.kernel.Eval(g.xbuf, g.xbuf) + g.noise - linalg.Dot(g.kstar, g.ksolve)
 	if variance < 0 {
 		variance = 0
 	}

@@ -221,3 +221,55 @@ func TestStdNonNegativeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 25; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]*x[0]-x[1]+0.1*rng.NormFloat64())
+	}
+	g := New(RBF{LengthScale: 1, Variance: 1}, 1e-4)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	probes := make([][]float64, 10)
+	for i := range probes {
+		probes[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	means := make([]float64, len(probes))
+	stds := make([]float64, len(probes))
+	if err := g.PredictBatch(probes, means, stds); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probes {
+		m, s, err := g.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != means[i] || s != stds[i] {
+			t.Fatalf("probe %d: batch (%v, %v) != single (%v, %v)", i, means[i], stds[i], m, s)
+		}
+	}
+	// After the first call warmed the scratch buffers, batch prediction
+	// must not allocate.
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := g.PredictBatch(probes, means, stds); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("PredictBatch allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestPredictBatchLengthMismatch(t *testing.T) {
+	g := New(Linear{Bias: 1}, 1e-4)
+	if err := g.Fit([][]float64{{0}, {1}}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PredictBatch([][]float64{{0}}, make([]float64, 2), make([]float64, 1)); err == nil {
+		t.Fatal("mismatched means length accepted")
+	}
+}

@@ -1,0 +1,266 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"spotlight/internal/linalg"
+)
+
+// This file implements the primal form of the linear-kernel GP. The dual
+// form in gp.go prices every kernel alike: an n×n Cholesky per fit
+// (O(n³)) and an O(n²) solve per prediction. But the paper's default
+// kernel k(x,y) = bias + x·y has a finite feature map φ(x) = [√bias, x]
+// of dimension D = d+1 (a dozen or so for the Figure 4 feature spaces),
+// so the identical posterior can be computed from the D×D system
+//
+//	A = Φ̃ᵀΦ̃ + σ²I,   w = A⁻¹Φ̃ᵀỹ
+//	mean(x*) = φ̃*·w,   var(x*) = σ²(1 + φ̃*ᵀA⁻¹φ̃*)
+//
+// (push-through identity: Φᵀ(ΦΦᵀ+σ²I)⁻¹ = (ΦᵀΦ+σ²I)⁻¹Φᵀ), where tildes
+// denote the same per-feature/target standardization the dual form
+// applies. PrimalStats maintains the raw second moments incrementally —
+// one rank-1 update per observation, O(d²) — and Fit assembles and
+// factorizes the standardized D×D system in O(d³), independent of n.
+// Prediction costs O(d) for the mean and O(d²) for the variance.
+//
+// daBO's invalid-region penalty retargets every infeasible observation
+// whenever the worst valid cost changes, which would break a naive
+// incremental design; penalized rows are therefore accumulated as a
+// separate moment group whose shared target is supplied at Fit time.
+
+// PrimalStats accumulates the sufficient statistics of a linear-kernel
+// GP incrementally. Add and AddPenalized are O(d²) rank-1 updates; Fit
+// produces an immutable fitted PrimalLinear in O(d³) regardless of how
+// many observations were absorbed.
+type PrimalStats struct {
+	bias  float64
+	noise float64
+	dim   int // fixed by the first Add/AddPenalized
+
+	n   int            // valid observations
+	m   *linalg.Matrix // Σ u·uᵀ over valid rows, u = [1, x], (d+1)×(d+1)
+	ty  []float64      // Σ y·u over valid rows
+	syy float64        // Σ y² over valid rows
+
+	pn int            // penalized observations (shared target set at Fit)
+	pm *linalg.Matrix // Σ u·uᵀ over penalized rows
+}
+
+// NewPrimalStats returns an empty accumulator for the kernel
+// k(x,y) = bias + x·y with the given observation noise variance.
+func NewPrimalStats(bias, noise float64) *PrimalStats {
+	if noise <= 0 {
+		noise = 1e-6
+	}
+	return &PrimalStats{bias: bias, noise: noise}
+}
+
+// Counts returns how many valid and penalized observations have been
+// absorbed.
+func (p *PrimalStats) Counts() (valid, penalized int) { return p.n, p.pn }
+
+// Add absorbs one valid observation (feature vector x, target y) as a
+// rank-1 update of the raw moment matrices. All observations must share
+// one dimensionality.
+func (p *PrimalStats) Add(x []float64, y float64) {
+	p.ensureDim(len(x))
+	p.n++
+	accumulate(p.m, x)
+	p.ty[0] += y
+	for j, v := range x {
+		p.ty[j+1] += y * v
+	}
+	p.syy += y * y
+}
+
+// AddPenalized absorbs one observation whose target is the shared
+// penalty value chosen later, at Fit time.
+func (p *PrimalStats) AddPenalized(x []float64) {
+	p.ensureDim(len(x))
+	p.pn++
+	accumulate(p.pm, x)
+}
+
+func (p *PrimalStats) ensureDim(d int) {
+	if p.m == nil {
+		p.dim = d
+		p.m = linalg.NewMatrix(d+1, d+1)
+		p.pm = linalg.NewMatrix(d+1, d+1)
+		p.ty = make([]float64, d+1)
+	}
+	if d != p.dim {
+		panic(fmt.Sprintf("gp: primal observation has %d features, accumulator holds %d", d, p.dim))
+	}
+}
+
+// accumulate adds u·uᵀ for u = [1, x] to the upper triangle of m (the
+// lower triangle is never read before Fit mirrors it).
+func accumulate(m *linalg.Matrix, x []float64) {
+	m.Set(0, 0, m.At(0, 0)+1)
+	row0 := m.Row(0)
+	for j, v := range x {
+		row0[j+1] += v
+	}
+	for j, vj := range x {
+		row := m.Row(j + 1)
+		for k := j; k < len(x); k++ {
+			row[k+1] += vj * x[k]
+		}
+	}
+}
+
+// constRelTol is the relative-variance floor below which a feature (or
+// the target) is treated as constant and its scale clamped to 1, exactly
+// as the dual form clamps an exactly-zero standard deviation. Moment
+// subtraction cannot distinguish relative variances below ~1e-12 from
+// cancellation noise, so near-constant columns are folded into the same
+// clamp rather than standardized by a garbage scale.
+const constRelTol = 1e-12
+
+// momentScale derives (mean, std) from a count, a sum, and a sum of
+// squares, with the dual form's clamping rules.
+func momentScale(n float64, sum, sumSq float64) (mean, std float64) {
+	mean = sum / n
+	msq := sumSq / n
+	v := msq - mean*mean
+	if n < 2 || v <= constRelTol*msq {
+		return mean, 1
+	}
+	return mean, math.Sqrt(v)
+}
+
+// Fit assembles the standardized primal system — penalized rows take the
+// given target — and returns the fitted surrogate. It returns ErrNoData
+// when nothing has been absorbed. The accumulator is unchanged and can
+// keep absorbing observations for the next fit.
+func (p *PrimalStats) Fit(penalty float64) (*PrimalLinear, error) {
+	nt := p.n + p.pn
+	if nt == 0 {
+		return nil, ErrNoData
+	}
+	d := p.dim
+	fn := float64(nt)
+
+	// Combined raw moments over valid + penalized rows (upper triangle).
+	mc := linalg.NewMatrix(d+1, d+1)
+	for i := 0; i <= d; i++ {
+		for j := i; j <= d; j++ {
+			mc.Set(i, j, p.m.At(i, j)+p.pm.At(i, j))
+		}
+	}
+	// Combined target sums: penalized rows contribute penalty·u.
+	ty := make([]float64, d+1)
+	for j := 0; j <= d; j++ {
+		ty[j] = p.ty[j] + penalty*p.pm.At(0, j)
+	}
+	syy := p.syy + penalty*penalty*float64(p.pn)
+
+	xMean := make([]float64, d)
+	xStd := make([]float64, d)
+	for j := 0; j < d; j++ {
+		xMean[j], xStd[j] = momentScale(fn, mc.At(0, j+1), mc.At(j+1, j+1))
+	}
+	yMean, yStd := momentScale(fn, ty[0], syy)
+
+	// Standardized system A·w = b over the basis [√bias, x̃₁ … x̃d].
+	sb := math.Sqrt(p.bias)
+	a := linalg.NewMatrix(d+1, d+1)
+	b := make([]float64, d+1)
+	a.Set(0, 0, p.bias*fn+p.noise)
+	b[0] = sb * (ty[0] - fn*yMean) / yStd
+	for j := 0; j < d; j++ {
+		cross := sb * (mc.At(0, j+1) - fn*xMean[j]) / xStd[j]
+		a.Set(0, j+1, cross)
+		a.Set(j+1, 0, cross)
+		b[j+1] = (ty[j+1] - fn*yMean*xMean[j]) / (yStd * xStd[j])
+		for k := j; k < d; k++ {
+			v := (mc.At(j+1, k+1) - fn*xMean[j]*xMean[k]) / (xStd[j] * xStd[k])
+			if k == j {
+				v += p.noise
+			}
+			a.Set(j+1, k+1, v)
+			a.Set(k+1, j+1, v)
+		}
+	}
+	chol, err := linalg.NewCholesky(a)
+	if err != nil {
+		return nil, fmt.Errorf("gp: primal system factorization failed: %w", err)
+	}
+	return &PrimalLinear{
+		bias:  p.bias,
+		noise: p.noise,
+		xMean: xMean, xStd: xStd,
+		yMean: yMean, yStd: yStd,
+		w:    chol.SolveVec(b),
+		chol: chol,
+		phi:  make([]float64, d+1),
+		sol:  make([]float64, d+1),
+	}, nil
+}
+
+// PrimalLinear is a fitted primal-form linear surrogate. Its posterior
+// matches the dual GP with kernel Linear{Bias: bias} and the same noise
+// on the same data (see TestPrimalMatchesDualGP). Fit once, predict
+// cheaply: O(d) mean, O(d²) standard deviation, no allocation. Like the
+// dense GP it reuses scratch buffers, so it must not be used from
+// multiple goroutines concurrently.
+type PrimalLinear struct {
+	bias, noise float64
+	xMean, xStd []float64
+	yMean, yStd float64
+	w           []float64 // posterior weights over [√bias, x̃]
+	chol        *linalg.Cholesky
+	phi, sol    []float64 // scratch: standardized point, triangular solve
+}
+
+// Predict implements Predictor.
+func (p *PrimalLinear) Predict(x []float64) (mean, std float64, err error) {
+	if len(x) != len(p.xMean) {
+		return 0, 0, fmt.Errorf("gp: input has %d features, trained on %d", len(x), len(p.xMean))
+	}
+	p.phi[0] = math.Sqrt(p.bias)
+	for j := range x {
+		p.phi[j+1] = (x[j] - p.xMean[j]) / p.xStd[j]
+	}
+	mu := linalg.Dot(p.phi, p.w)
+	// φᵀA⁻¹φ = ‖L⁻¹φ‖² — the forward solve alone is enough.
+	p.chol.SolveLowerTo(p.sol, p.phi)
+	q := linalg.Dot(p.sol, p.sol)
+	if q < 0 {
+		q = 0
+	}
+	variance := p.noise * (1 + q)
+	return mu*p.yStd + p.yMean, math.Sqrt(variance) * p.yStd, nil
+}
+
+// PredictBatch implements Predictor.
+func (p *PrimalLinear) PredictBatch(xs [][]float64, means, stds []float64) error {
+	if len(means) != len(xs) || len(stds) != len(xs) {
+		return fmt.Errorf("gp: batch size mismatch: %d inputs, %d/%d outputs",
+			len(xs), len(means), len(stds))
+	}
+	for i, x := range xs {
+		m, s, err := p.Predict(x)
+		if err != nil {
+			return err
+		}
+		means[i], stds[i] = m, s
+	}
+	return nil
+}
+
+// FitPrimalLinear fits the primal linear surrogate on a whole dataset in
+// one call — the batch-oriented counterpart of New(Linear{bias},
+// noise).Fit(x, y) and interchangeable with it (same posterior, built in
+// O(n·d²) instead of O(n³)).
+func FitPrimalLinear(bias, noise float64, x [][]float64, y []float64) (*PrimalLinear, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
+	}
+	s := NewPrimalStats(bias, noise)
+	for i, row := range x {
+		s.Add(row, y[i])
+	}
+	return s.Fit(0)
+}

@@ -184,40 +184,48 @@ func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
 // SolveVec solves A·x = b for x using the factorization (forward then
 // backward substitution).
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	y := c.forwardSolve(b)
-	return c.backwardSolve(y)
+	x := make([]float64, len(b))
+	c.SolveVecTo(x, b)
+	return x
 }
 
-// forwardSolve solves L·y = b.
-func (c *Cholesky) forwardSolve(b []float64) []float64 {
+// SolveVecTo solves A·x = b into dst without allocating, for hot loops
+// that reuse a scratch buffer. dst and b may be the same slice.
+func (c *Cholesky) SolveVecTo(dst, b []float64) {
+	c.SolveLowerTo(dst, b)
+	c.backwardSolve(dst)
+}
+
+// SolveLowerTo solves the triangular system L·y = b into dst without
+// allocating. dst and b may be the same slice. Solving against L alone
+// is the cheap half of SolveVecTo and enough for quadratic forms:
+// bᵀ·A⁻¹·b = ‖L⁻¹b‖².
+func (c *Cholesky) SolveLowerTo(dst, b []float64) {
 	n := c.L.Rows
-	if len(b) != n {
-		panic(fmt.Sprintf("linalg: solve length mismatch %d vs %d", len(b), n))
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("linalg: solve length mismatch %d/%d vs %d", len(dst), len(b), n))
 	}
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := c.L.Row(i)
 		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+			s -= row[k] * dst[k]
 		}
-		y[i] = s / row[i]
+		dst[i] = s / row[i]
 	}
-	return y
 }
 
-// backwardSolve solves Lᵀ·x = y.
-func (c *Cholesky) backwardSolve(y []float64) []float64 {
+// backwardSolve solves Lᵀ·x = y in place: x[i] depends only on y[i] and
+// already-computed x[k] for k > i, so overwriting is safe.
+func (c *Cholesky) backwardSolve(y []float64) {
 	n := c.L.Rows
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
-			s -= c.L.At(k, i) * x[k]
+			s -= c.L.At(k, i) * y[k]
 		}
-		x[i] = s / c.L.At(i, i)
+		y[i] = s / c.L.At(i, i)
 	}
-	return x
 }
 
 // LogDet returns log(det(A)) = 2·Σ log(L[i][i]) of the factorized matrix.

@@ -1,0 +1,52 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// layer search in core and the parallel trial runner in exp. It is a
+// deliberately small primitive: indexed fan-out with a concurrency cap,
+// no channels to drain and no error plumbing — callers write fn(i)'s
+// result into slot i of a pre-sized slice, which keeps output ordering
+// (and therefore reproducibility) independent of scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes fn(i) exactly once for every i in [0, n), using at most
+// workers concurrent goroutines, and returns when all invocations have
+// completed. workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 (or
+// n <= 1) runs inline with zero goroutine overhead. Work is handed out
+// dynamically, so fn must not depend on execution order.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 100
+		var counts [n]atomic.Int64
+		Run(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: fn(%d) ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const n, workers = 200, 4
+	var inflight, peak atomic.Int64
+	Run(n, workers, func(int) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inflight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent invocations, cap is %d", p, workers)
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	Run(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	ran := 0
+	Run(1, 4, func(i int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("n=1 ran fn %d times", ran)
+	}
+}

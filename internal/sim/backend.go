@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sync/atomic"
 
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
@@ -24,10 +25,16 @@ type Backend struct {
 	analytical *maestro.Model
 	opts       Options
 
-	// Simulated counts how many evaluations used the simulator; Fallback
-	// counts analytical fallbacks. Exposed for tests and reporting.
-	Simulated int
-	Fallback  int
+	// Evaluation counters are atomic because the core driver may call
+	// Evaluate from several layer workers at once (RunConfig.Workers).
+	simulated atomic.Int64
+	fallback  atomic.Int64
+}
+
+// Counts reports how many evaluations used the trace simulator and how
+// many fell back to the analytical estimate, for tests and reporting.
+func (b *Backend) Counts() (simulated, fallback int) {
+	return int(b.simulated.Load()), int(b.fallback.Load())
 }
 
 // NewBackend returns a hybrid backend with the given simulation bounds
@@ -52,10 +59,10 @@ func (b *Backend) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maes
 	if err != nil {
 		// Nest too large (or working set edge case): keep the analytical
 		// numbers.
-		b.Fallback++
+		b.fallback.Add(1)
 		return cost, nil
 	}
-	b.Simulated++
+	b.simulated.Add(1)
 
 	// Swap in the simulated DRAM traffic and re-derive the dependents.
 	oldDRAM := cost.DRAMBytes

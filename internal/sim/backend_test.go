@@ -22,8 +22,8 @@ func TestBackendSimulatesSmallNests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Simulated != 1 || b.Fallback != 0 {
-		t.Fatalf("expected one simulated evaluation, got sim=%d fb=%d", b.Simulated, b.Fallback)
+	if sim, fb := b.Counts(); sim != 1 || fb != 0 {
+		t.Fatalf("expected one simulated evaluation, got sim=%d fb=%d", sim, fb)
 	}
 	if c.DelayCycles <= 0 || c.EnergyNJ <= 0 {
 		t.Fatalf("bad hybrid cost: %+v", c)
@@ -54,8 +54,8 @@ func TestBackendFallsBackOnHugeNests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Fallback != 1 || b.Simulated != 0 {
-		t.Fatalf("expected fallback, got sim=%d fb=%d", b.Simulated, b.Fallback)
+	if sim, fb := b.Counts(); fb != 1 || sim != 0 {
+		t.Fatalf("expected fallback, got sim=%d fb=%d", sim, fb)
 	}
 	analytic, err := maestro.New().Evaluate(a, s, l)
 	if err != nil {
