@@ -11,16 +11,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"spotlight/internal/core"
 	"spotlight/internal/exp"
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
+	"spotlight/internal/resilience"
 	"spotlight/internal/search"
 	"spotlight/internal/sim"
 	"spotlight/internal/timeloop"
@@ -49,6 +55,13 @@ func run() error {
 		verbose    = flag.Bool("v", false, "print per-layer schedules")
 		frontier   = flag.Bool("frontier", false, "print the pareto frontier and the budget-closest selection")
 		reevaluate = flag.String("reevaluate", "", "skip the search: load a design JSON (from -json) and re-cost it on -backend")
+
+		workers     = flag.Int("workers", 0, "concurrent layer searches per hardware sample (0 = one per core); results are identical at any setting")
+		timeout     = flag.Duration("timeout", 0, "overall search deadline (e.g. 30m); on expiry the partial result is reported (0 = none)")
+		checkpoint  = flag.String("checkpoint", "", "write a resumable checkpoint to this file after every hardware sample (atomic replace)")
+		resumeFrom  = flag.String("resume", "", "resume from a checkpoint file; models, seed, strategy, and budgets must match the original run")
+		evalTimeout = flag.Duration("eval-timeout", 0, "abandon any single cost-model evaluation after this long (0 = none)")
+		evalRetries = flag.Int("eval-retries", 0, "retries for transient cost-model faults, with exponential backoff")
 	)
 	flag.Parse()
 
@@ -94,6 +107,16 @@ func run() error {
 		return fmt.Errorf("unknown backend %q", *backend)
 	}
 
+	if *evalTimeout > 0 || *evalRetries > 0 {
+		eval = &resilience.Guard{
+			Eval:    eval,
+			Timeout: *evalTimeout,
+			Retries: *evalRetries,
+			Backoff: 50 * time.Millisecond,
+			Seed:    *seed,
+		}
+	}
+
 	if *reevaluate != "" {
 		return reevaluateDesign(*reevaluate, eval, obj, models)
 	}
@@ -112,10 +135,55 @@ func run() error {
 		SWSamples: *swSamples,
 		Seed:      *seed,
 		Eval:      eval,
+		Workers:   *workers,
 	}
-	res, err := core.Run(cfg, strat)
+	if *resumeFrom != "" {
+		cp, err := readCheckpointFile(*resumeFrom)
+		if err != nil {
+			return err
+		}
+		cfg.Resume = cp
+		fmt.Printf("resuming from %s (%d hardware samples done)\n", *resumeFrom, cp.Samples)
+	}
+	var lastCP *core.Checkpoint
+	if *checkpoint != "" {
+		cfg.OnCheckpoint = func(cp *core.Checkpoint) error {
+			lastCP = cp
+			return writeCheckpointFile(*checkpoint, cp)
+		}
+	}
+
+	// SIGINT (and -timeout) stop the search cooperatively: the run
+	// finishes its current hardware sample's bookkeeping, the last
+	// checkpoint on disk stays valid, and the partial result is reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := core.RunContext(ctx, cfg, strat)
 	if err != nil {
-		return err
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "spotlight:", err)
+		if *checkpoint != "" && lastCP != nil {
+			if werr := writeCheckpointFile(*checkpoint, lastCP); werr != nil {
+				fmt.Fprintln(os.Stderr, "spotlight: saving final checkpoint:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "spotlight: checkpoint saved; continue with -resume %s\n", *checkpoint)
+			}
+		}
+		if len(res.History) == 0 {
+			return errors.New("stopped before any hardware sample completed")
+		}
+		if math.IsInf(res.Best.Objective, 1) {
+			return fmt.Errorf("no feasible design among the %d completed samples", len(res.History))
+		}
+		fmt.Printf("partial result after %d of %d hardware samples:\n", len(res.History), *hwSamples)
 	}
 	report(res, obj, *verbose)
 	if *frontier {
@@ -256,6 +324,41 @@ func reportFrontier(res core.Result, budget hw.Budget) {
 	if pick, ok := fr.SelectWithinBudget(budget); ok {
 		fmt.Printf("budget-closest selection: obj=%.5g %s\n", pick.Objective, pick.Accel)
 	}
+}
+
+// writeCheckpointFile replaces path atomically (write to a sibling temp
+// file, fsync, rename), so a crash or SIGKILL mid-write can never leave
+// a truncated checkpoint behind — the previous complete one survives.
+func writeCheckpointFile(path string, cp *core.Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteCheckpoint(f, cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readCheckpointFile(path string) (*core.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadCheckpoint(f)
 }
 
 func writeHistory(path string, res core.Result) error {

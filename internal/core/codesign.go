@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -43,6 +44,18 @@ type RunConfig struct {
 	// safe for concurrent Evaluate calls when Workers != 1 (the bundled
 	// analytical models and the sim backend all are).
 	Workers int
+
+	// Resume, when non-nil, restores the state of a previous run of the
+	// *same* configuration and strategy (enforced by fingerprint) and
+	// continues from the first hardware sample the checkpoint does not
+	// cover. A resumed run is bit-identical to an uninterrupted one.
+	Resume *Checkpoint
+
+	// OnCheckpoint, when non-nil, is invoked after every completed
+	// hardware sample with a self-contained snapshot of the run, from
+	// which Resume can continue. The snapshot shares no memory with the
+	// live run. A non-nil return aborts the run with the partial Result.
+	OnCheckpoint func(*Checkpoint) error
 }
 
 // normalized fills defaults and validates.
@@ -166,8 +179,22 @@ type modelLayer struct {
 // strategy: for each hardware sample, every layer's schedule is optimized
 // independently by a fresh software searcher; per-model energies and
 // delays are aggregated into the objective, which feeds back into the
-// hardware searcher.
+// hardware searcher. Run never stops early; use RunContext for
+// cancellation and deadlines.
 func Run(cfg RunConfig, strat Strategy) (Result, error) {
+	return RunContext(context.Background(), cfg, strat)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between hardware samples and between software samples. When it is
+// canceled (or its deadline passes), the run stops at the next check and
+// returns the partial Result — every fully completed hardware sample's
+// history, frontier, and top-K — together with an error wrapping
+// ctx.Err() (context.Canceled or context.DeadlineExceeded). A hardware
+// sample whose software search was cut short is discarded rather than
+// half-reported, which keeps the partial Result a prefix of what the
+// uninterrupted run would have produced.
+func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s: %w", strat.Name(), err)
@@ -181,11 +208,40 @@ func Run(cfg RunConfig, strat Strategy) (Result, error) {
 	res.Best.Objective = math.Inf(1)
 	var frontier ParetoFrontier
 	top := TopDesigns{K: topKDesigns}
-	start := time.Now()
+	var obs []Observation
+	startSample := 1
+	var elapsedOffset time.Duration
 
-	for t := 1; t <= cfg.HWSamples; t++ {
+	if cfg.Resume != nil {
+		st, err := cfg.Resume.restore(cfg, strat, hwSearch)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %s: resume: %w", strat.Name(), err)
+		}
+		res.Best, res.History = st.best, st.history
+		frontier, top, obs = st.frontier, st.top, st.obs
+		startSample = len(obs) + 1
+		elapsedOffset = st.elapsed
+	}
+
+	finish := func() {
+		res.Frontier = frontier.Designs()
+		res.Top = top.Designs()
+	}
+	start := time.Now()
+	for t := startSample; t <= cfg.HWSamples; t++ {
+		if err := ctx.Err(); err != nil {
+			finish()
+			return res, stoppedErr(strat, t-1, cfg.HWSamples, err)
+		}
 		accel := hwSearch.Suggest()
-		design, derr := evaluateHardware(cfg, strat, accel, layers, swBudget, t)
+		design, derr := evaluateHardware(ctx, cfg, strat, accel, layers, swBudget, t)
+		if err := ctx.Err(); err != nil {
+			// This sample's software search was cut short; its
+			// half-optimized design would not match an uninterrupted
+			// run's, so the sample is discarded, not observed.
+			finish()
+			return res, stoppedErr(strat, t-1, cfg.HWSamples, err)
+		}
 		hwSearch.Observe(accel, design.Objective, derr)
 
 		value := design.Objective
@@ -200,18 +256,45 @@ func Run(cfg RunConfig, strat Strategy) (Result, error) {
 		}
 		res.History = append(res.History, HistoryPoint{
 			Sample:    t,
-			Elapsed:   time.Since(start),
+			Elapsed:   elapsedOffset + time.Since(start),
 			Value:     value,
 			BestSoFar: res.Best.Objective,
 		})
+		o := Observation{Accel: accel, Valid: derr == nil}
+		if derr == nil {
+			o.Objective = design.Objective
+		}
+		obs = append(obs, o)
+		if cfg.OnCheckpoint != nil {
+			cp := buildCheckpoint(cfg, strat, obs, &res, &frontier, &top)
+			if err := cfg.OnCheckpoint(cp); err != nil {
+				finish()
+				return res, fmt.Errorf("core: %s: checkpoint after sample %d: %w",
+					strat.Name(), t, err)
+			}
+		}
 	}
-	res.Frontier = frontier.Designs()
-	res.Top = top.Designs()
+	finish()
 	if math.IsInf(res.Best.Objective, 1) {
 		return res, fmt.Errorf("%w: %s tried %d hardware samples",
 			ErrNoFeasible, strat.Name(), cfg.HWSamples)
 	}
 	return res, nil
+}
+
+// stoppedErr wraps a context error with how far the run got, so callers
+// can both errors.Is on Canceled/DeadlineExceeded and report progress.
+func stoppedErr(strat Strategy, done, total int, err error) error {
+	return fmt.Errorf("core: %s: stopped after %d of %d hardware samples: %w",
+		strat.Name(), done, total, err)
+}
+
+// InvalidObservation reports whether a (objective, err) pair fed to a
+// proposer's Observe marks an infeasible or unusable sample: any error,
+// or a non-finite objective (NaN and ±Inf would otherwise poison
+// surrogate statistics and population fitness orderings silently).
+func InvalidObservation(objective float64, err error) bool {
+	return err != nil || math.IsNaN(objective) || math.IsInf(objective, 0)
 }
 
 // deriveSeed mixes the run seed with stream indices (hardware sample,
@@ -239,7 +322,7 @@ func deriveSeed(seed int64, streams ...int64) int64 {
 // maestro.ErrInvalid when the hardware is out of budget, structurally
 // invalid, or has a layer with no feasible schedule (the lowest-index
 // infeasible layer is reported, for determinism).
-func evaluateHardware(cfg RunConfig, strat Strategy, accel hw.Accel,
+func evaluateHardware(ctx context.Context, cfg RunConfig, strat Strategy, accel hw.Accel,
 	layers []modelLayer, swBudget, sample int) (Design, error) {
 
 	design := Design{Accel: accel, Objective: math.Inf(1)}
@@ -260,11 +343,14 @@ func evaluateHardware(cfg RunConfig, strat Strategy, accel hw.Accel,
 		sws[i] = strat.NewSW(cfg, rng, accel, ml.layer)
 	}
 	design.Layers = make([]LayerResult, len(layers))
-	pool.Run(len(layers), cfg.Workers, func(i int) {
-		lr := runLayerSearch(cfg, sws[i], accel, layers[i].layer, swBudget)
+	if err := pool.RunCtx(ctx, len(layers), cfg.Workers, func(i int) {
+		lr := runLayerSearch(ctx, cfg, sws[i], accel, layers[i].layer, swBudget)
 		lr.Model = layers[i].model
 		design.Layers[i] = lr
-	})
+	}); err != nil {
+		// Canceled mid-sample; the caller discards this design.
+		return design, err
+	}
 
 	perModelEnergy := map[string]float64{}
 	perModelDelay := map[string]float64{}
@@ -281,6 +367,10 @@ func evaluateHardware(cfg RunConfig, strat Strategy, accel hw.Accel,
 	for m := range perModelEnergy {
 		total += AggregateObjective(cfg.Objective, perModelEnergy[m], perModelDelay[m])
 	}
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return design, fmt.Errorf("%w: non-finite aggregate objective on %s",
+			maestro.ErrInvalid, accel)
+	}
 	design.Objective = total
 	return design, nil
 }
@@ -290,23 +380,37 @@ func evaluateHardware(cfg RunConfig, strat Strategy, accel hw.Accel,
 // best schedule found. Valid is false when every sample was infeasible.
 func OptimizeLayer(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Accel,
 	layer workload.Layer, budget int) LayerResult {
-	return runLayerSearch(cfg, strat.NewSW(cfg, rng, accel, layer), accel, layer, budget)
+	return runLayerSearch(context.Background(), cfg, strat.NewSW(cfg, rng, accel, layer),
+		accel, layer, budget)
 }
 
-// runLayerSearch drives one software proposer through its sample budget.
-func runLayerSearch(cfg RunConfig, sw SWProposer, accel hw.Accel,
+// runLayerSearch drives one software proposer through its sample budget,
+// stopping early (with the best result so far) when ctx is canceled. A
+// cost whose fields are not all finite is classified invalid rather than
+// allowed to poison the proposer's statistics or become a NaN "best".
+func runLayerSearch(ctx context.Context, cfg RunConfig, sw SWProposer, accel hw.Accel,
 	layer workload.Layer, budget int) LayerResult {
 
 	best := LayerResult{Layer: layer}
 	bestObj := math.Inf(1)
 	for i := 0; i < budget; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		s := sw.Suggest()
 		cost, err := cfg.Eval.Evaluate(accel, s, layer)
+		obj := math.Inf(1)
+		if err == nil {
+			obj = cfg.Objective.LayerCost(cost)
+		}
+		if err == nil && (!cost.Finite() || math.IsNaN(obj) || math.IsInf(obj, 0)) {
+			err = fmt.Errorf("%w: evaluator returned non-finite cost for layer %s",
+				maestro.ErrInvalid, layer.Name)
+		}
 		if err != nil {
 			sw.Observe(s, math.Inf(1), err)
 			continue
 		}
-		obj := cfg.Objective.LayerCost(cost)
 		sw.Observe(s, obj, nil)
 		if obj < bestObj {
 			bestObj = obj
@@ -328,7 +432,8 @@ func OptimizeSoftware(cfg RunConfig, strat Strategy, accel hw.Accel) (Design, er
 	if err != nil {
 		return Design{}, err
 	}
-	design, derr := evaluateHardware(cfg, strat, accel, collectLayers(cfg.Models), strat.SWBudget(cfg), 0)
+	design, derr := evaluateHardware(context.Background(), cfg, strat, accel,
+		collectLayers(cfg.Models), strat.SWBudget(cfg), 0)
 	if derr != nil {
 		return design, derr
 	}

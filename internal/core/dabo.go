@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 
@@ -91,8 +92,17 @@ func (d *DABO) Observations() (valid, invalid int) {
 }
 
 // Observe records a valid design's feature vector and its (positive)
-// cost.
+// cost. A non-finite cost is demoted to an invalid observation — one NaN
+// ingested into the moment matrices would silently poison every later
+// prediction — and a non-finite feature vector is dropped entirely.
 func (d *DABO) Observe(features []float64, cost float64) {
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		d.ObserveInvalid(features)
+		return
+	}
+	if !finiteVec(features) {
+		return
+	}
 	logCost := math.Log(math.Max(cost, math.SmallestNonzeroFloat64))
 	d.x = append(d.x, append([]float64(nil), features...))
 	d.y = append(d.y, logCost)
@@ -102,13 +112,28 @@ func (d *DABO) Observe(features []float64, cost float64) {
 	d.staleness++
 }
 
-// ObserveInvalid records that a design point was infeasible.
+// ObserveInvalid records that a design point was infeasible. Non-finite
+// feature vectors are dropped: there is no meaningful place to put the
+// penalty mass, and one ±Inf row would corrupt the penalty moments.
 func (d *DABO) ObserveInvalid(features []float64) {
+	if !finiteVec(features) {
+		return
+	}
 	d.invalid = append(d.invalid, append([]float64(nil), features...))
 	if d.primal != nil {
 		d.primal.AddPenalized(features)
 	}
 	d.staleness++
+}
+
+// finiteVec reports whether every component is a finite number.
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // SuggestIndex picks which of the candidate feature vectors to evaluate
@@ -118,7 +143,7 @@ func (d *DABO) SuggestIndex(candidates [][]float64) int {
 	if len(candidates) == 0 {
 		return -1
 	}
-	if len(d.y) < d.warmup {
+	if len(d.y) < d.warmup || d.Degraded() {
 		return d.rng.Intn(len(candidates))
 	}
 	if err := d.ensureFit(); err != nil {
@@ -173,17 +198,49 @@ func (d *DABO) invalidPenalty() float64 {
 	return worst + 2 // ≈ 7.4× the worst valid cost, in log space
 }
 
+// maxFitFailures is how many consecutive fit failures DABO tolerates
+// before it stops refitting altogether. Fit failures are already rare
+// (linalg escalates Cholesky jitter over eight decades internally), so
+// repeated failure means the observation set itself is pathological;
+// degrading to pure random suggestion keeps the search alive instead of
+// paying a doomed O(d³)/O(n³) factorization on every suggestion — or
+// panicking.
+const maxFitFailures = 3
+
+// Degraded reports whether repeated surrogate fit failures have
+// permanently demoted this optimizer to random suggestion.
+func (d *DABO) Degraded() bool { return d.fitAttempts >= maxFitFailures }
+
 // ensureFit refits the surrogate if enough new observations accumulated.
 // Each refit produces a fresh immutable model; linear kernels take the
 // primal path (O(d³) from the incrementally maintained statistics),
-// every other kernel rebuilds the dense GP.
+// every other kernel rebuilds the dense GP. Failures are counted; after
+// maxFitFailures consecutive failures the optimizer degrades to random
+// suggestion for the rest of the run.
 func (d *DABO) ensureFit() error {
+	if d.Degraded() {
+		return errDegraded
+	}
 	if d.model != nil && d.staleness < d.refitEvery {
 		return nil
 	}
 	if len(d.x)+len(d.invalid) == 0 {
 		return gp.ErrNoData
 	}
+	err := d.refit()
+	if err != nil {
+		d.fitAttempts++
+		return err
+	}
+	d.fitAttempts = 0
+	d.staleness = 0
+	return nil
+}
+
+var errDegraded = errors.New("core: surrogate degraded to random suggestion after repeated fit failures")
+
+// refit rebuilds the surrogate from the current observation set.
+func (d *DABO) refit() error {
 	penalty := d.invalidPenalty()
 	if d.primal != nil {
 		m, err := d.primal.Fit(penalty)
@@ -191,7 +248,6 @@ func (d *DABO) ensureFit() error {
 			return err
 		}
 		d.model = m
-		d.staleness = 0
 		return nil
 	}
 	x := make([][]float64, 0, len(d.x)+len(d.invalid))
@@ -207,7 +263,6 @@ func (d *DABO) ensureFit() error {
 		return err
 	}
 	d.model = m
-	d.staleness = 0
 	return nil
 }
 

@@ -294,3 +294,79 @@ func TestDABOPenaltyScalesWithWorstValid(t *testing.T) {
 		t.Fatalf("invalid region predicted better (%v) than valid (%v)", invalidMean, validMean)
 	}
 }
+
+func TestDABONonFiniteCostDemotedToInvalid(t *testing.T) {
+	d := NewDABO(gp.Linear{Bias: 1}, rand.New(rand.NewSource(1)))
+	d.Observe([]float64{1, 2}, math.NaN())
+	d.Observe([]float64{3, 4}, math.Inf(1))
+	d.Observe([]float64{5, 6}, math.Inf(-1))
+	valid, invalid := d.Observations()
+	if valid != 0 || invalid != 3 {
+		t.Fatalf("observations = (%d valid, %d invalid), want (0, 3)", valid, invalid)
+	}
+}
+
+func TestDABONonFiniteFeaturesDropped(t *testing.T) {
+	d := NewDABO(gp.Linear{Bias: 1}, rand.New(rand.NewSource(1)))
+	d.Observe([]float64{math.NaN(), 1}, 10)
+	d.Observe([]float64{math.Inf(1), 1}, 10)
+	d.ObserveInvalid([]float64{1, math.NaN()})
+	valid, invalid := d.Observations()
+	if valid != 0 || invalid != 0 {
+		t.Fatalf("observations = (%d valid, %d invalid), want none recorded", valid, invalid)
+	}
+	// A clean observation after the garbage must still work.
+	d.Observe([]float64{1, 2}, 10)
+	if valid, _ := d.Observations(); valid != 1 {
+		t.Fatalf("clean observation not recorded")
+	}
+}
+
+func TestDABODegradesAfterRepeatedFitFailures(t *testing.T) {
+	d := NewDABO(gp.RBF{LengthScale: 1, Variance: 1}, rand.New(rand.NewSource(2)),
+		WithWarmup(1), WithRefitEvery(1))
+	for i := 0; i < 4; i++ {
+		d.Observe([]float64{float64(i), float64(i * i)}, float64(10+i))
+	}
+	// Corrupt the stored targets directly (Observe itself rejects
+	// non-finite input), simulating a pathological observation set that
+	// makes every dense fit fail.
+	d.y[0] = math.NaN()
+	cands := [][]float64{{0, 0}, {1, 1}, {2, 4}}
+	for i := 0; i < maxFitFailures; i++ {
+		if d.Degraded() {
+			t.Fatalf("degraded after only %d failed fits", i)
+		}
+		if idx := d.SuggestIndex(cands); idx < 0 || idx >= len(cands) {
+			t.Fatalf("SuggestIndex returned %d during fit failures", idx)
+		}
+	}
+	if !d.Degraded() {
+		t.Fatalf("not degraded after %d failed fits", maxFitFailures)
+	}
+	// Degraded mode must keep suggesting (randomly) and never re-fit.
+	for i := 0; i < 10; i++ {
+		if idx := d.SuggestIndex(cands); idx < 0 || idx >= len(cands) {
+			t.Fatalf("SuggestIndex returned %d while degraded", idx)
+		}
+	}
+}
+
+func TestDABOFitFailureRecoveryResetsCounter(t *testing.T) {
+	d := NewDABO(gp.RBF{LengthScale: 1, Variance: 1}, rand.New(rand.NewSource(3)),
+		WithWarmup(1), WithRefitEvery(1))
+	for i := 0; i < 4; i++ {
+		d.Observe([]float64{float64(i)}, float64(10+i))
+	}
+	d.y[0] = math.NaN()
+	cands := [][]float64{{0}, {1}}
+	d.SuggestIndex(cands) // one failed fit
+	d.y[0] = math.Log(10) // the data heals before the failure budget is spent
+	d.SuggestIndex(cands)
+	if d.fitAttempts != 0 {
+		t.Fatalf("fit failure counter = %d after a successful fit, want 0", d.fitAttempts)
+	}
+	if d.Degraded() {
+		t.Fatal("degraded despite a successful fit")
+	}
+}

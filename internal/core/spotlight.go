@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"math/rand"
 	"sync"
 
@@ -137,7 +136,7 @@ func (h *spotlightHW) Suggest() hw.Accel {
 
 func (h *spotlightHW) Observe(a hw.Accel, objective float64, err error) {
 	f := Transform(h.features, Point{Accel: a})
-	if err != nil || math.IsInf(objective, 1) {
+	if InvalidObservation(objective, err) {
 		h.dabo.ObserveInvalid(f)
 		return
 	}
@@ -192,7 +191,7 @@ func (w *spotlightSW) Suggest() sched.Schedule {
 
 func (w *spotlightSW) Observe(s sched.Schedule, objective float64, err error) {
 	f := Transform(w.features, Point{Accel: w.accel, Sched: s, Layer: w.layer})
-	if err != nil || math.IsInf(objective, 1) {
+	if InvalidObservation(objective, err) {
 		w.dabo.ObserveInvalid(f)
 		return
 	}

@@ -165,28 +165,54 @@ func normalizeRows(rows []Row, reference string) {
 
 // forTrials runs fn once per trial index on the shared bounded worker
 // pool — GOMAXPROCS-wide when Parallel is set, sequential otherwise —
-// and returns the first error encountered (lowest trial index wins, for
-// determinism).
-func (c Config) forTrials(fn func(trial int) error) error {
+// and returns each trial's error in its slot. A panicking trial is
+// recovered into its error slot here, before the pool's own panic
+// containment would poison the remaining trials: one crashed run should
+// cost one bar of a figure, not the whole figure.
+func (c Config) forTrials(fn func(trial int) error) []error {
 	workers := 1
 	if c.Parallel {
 		workers = 0 // pool default: GOMAXPROCS
 	}
 	errs := make([]error, c.Trials)
-	pool.Run(c.Trials, workers, func(t int) { errs[t] = fn(t) })
-	for _, err := range errs {
+	pool.Run(c.Trials, workers, func(t int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[t] = fmt.Errorf("exp: trial %d panicked: %v", t, r)
+			}
+		}()
+		errs[t] = fn(t)
+	})
+	return errs
+}
+
+// collectTrials keeps the values of the trials that succeeded. It fails
+// only when every trial failed — degraded statistics over fewer trials
+// beat losing a whole figure to one flaky run.
+func collectTrials(vals []float64, errs []error) ([]float64, error) {
+	kept := make([]float64, 0, len(vals))
+	var firstErr error
+	for i, err := range errs {
 		if err != nil {
-			return err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
+		kept = append(kept, vals[i])
 	}
-	return nil
+	if len(kept) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return kept, nil
 }
 
 // trialObjectives runs a strategy for cfg.Trials independent trials on
-// the given models and returns the per-trial best objectives.
+// the given models and returns the best objectives of the trials that
+// completed.
 func (c Config) trialObjectives(models []workload.Model, strat core.Strategy) ([]float64, error) {
 	out := make([]float64, c.Trials)
-	err := c.forTrials(func(t int) error {
+	errs := c.forTrials(func(t int) error {
 		rc, err := c.runConfig(models, t)
 		if err != nil {
 			return err
@@ -198,7 +224,7 @@ func (c Config) trialObjectives(models []workload.Model, strat core.Strategy) ([
 		out[t] = res.Best.Objective
 		return nil
 	})
-	return out, err
+	return collectTrials(out, errs)
 }
 
 // baselineObjectives evaluates a hand-designed baseline under the
@@ -206,7 +232,7 @@ func (c Config) trialObjectives(models []workload.Model, strat core.Strategy) ([
 // constraint), per §VII's methodology, for cfg.Trials trials.
 func (c Config) baselineObjectives(models []workload.Model, b hw.Baseline) ([]float64, error) {
 	out := make([]float64, c.Trials)
-	err := c.forTrials(func(t int) error {
+	errs := c.forTrials(func(t int) error {
 		rc, err := c.runConfig(models, t)
 		if err != nil {
 			return err
@@ -219,7 +245,7 @@ func (c Config) baselineObjectives(models []workload.Model, b hw.Baseline) ([]fl
 		out[t] = design.Objective
 		return nil
 	})
-	return out, err
+	return collectTrials(out, errs)
 }
 
 // summaryRow converts per-trial objectives into a Row.

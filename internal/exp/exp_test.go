@@ -2,7 +2,9 @@ package exp
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -455,5 +457,79 @@ func TestKernelSearchComparison(t *testing.T) {
 	if ratio > 10 || ratio < 0.1 {
 		t.Fatalf("kernels differ wildly: linear %v vs matern %v",
 			res[0].Summary.Median, res[1].Summary.Median)
+	}
+}
+
+// faultyTrialStrategy panics when constructing the hardware searcher of
+// one specific trial (identified by its derived seed), simulating a
+// crashed run inside a multi-trial figure.
+type faultyTrialStrategy struct {
+	core.Strategy
+	badSeed int64
+}
+
+func (f faultyTrialStrategy) NewHW(cfg core.RunConfig, rng *rand.Rand) core.HWProposer {
+	if cfg.Seed == f.badSeed {
+		panic("injected trial failure")
+	}
+	return f.Strategy.NewHW(cfg, rng)
+}
+
+// TestChaosFailedTrialDoesNotAbortFigure: one crashed trial must cost
+// one trial's worth of statistics, not the whole figure.
+func TestChaosFailedTrialDoesNotAbortFigure(t *testing.T) {
+	cfg := tinyCfg().normalized()
+	badSeed := cfg.Seed + 0*7919 // trial 0's seed
+	strat := faultyTrialStrategy{Strategy: core.NewSpotlight(), badSeed: badSeed}
+
+	models, err := cfg.models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := cfg.trialObjectives(models, strat)
+	if err != nil {
+		t.Fatalf("figure aborted on a single failed trial: %v", err)
+	}
+	if len(objs) != cfg.Trials-1 {
+		t.Fatalf("kept %d objectives, want %d (one trial failed)", len(objs), cfg.Trials-1)
+	}
+	for _, v := range objs {
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("bad surviving objective %v", v)
+		}
+	}
+}
+
+// TestChaosAllTrialsFailedSurfacesError: when nothing succeeded there
+// is no figure to draw, and the first error must come back.
+func TestChaosAllTrialsFailedSurfacesError(t *testing.T) {
+	vals := []float64{1, 2}
+	errs := []error{errFirst, errFirst}
+	if _, err := collectTrials(vals, errs); err == nil {
+		t.Fatal("collectTrials with all-failed trials returned no error")
+	}
+}
+
+var errFirst = errors.New("boom")
+
+// TestChaosFig10RecordsPartialTrials: a failed Fig10 trial keeps its
+// error and whatever history it produced instead of aborting the map.
+func TestChaosFig10RecordsPartialTrials(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.HWSamples = 3
+	cfg.SWSamples = 4
+	out, err := Fig10(cfg)
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	for model, curves := range out {
+		for _, c := range curves {
+			if len(c.Errors) != cfg.Trials {
+				t.Fatalf("%s/%s: Errors has %d slots, want %d", model, c.Tool, len(c.Errors), cfg.Trials)
+			}
+			if c.Failed() != 0 {
+				t.Errorf("%s/%s: %d trials failed unexpectedly: %v", model, c.Tool, c.Failed(), c.Errors)
+			}
+		}
 	}
 }

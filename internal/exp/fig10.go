@@ -16,6 +16,21 @@ import (
 type Curve struct {
 	Tool   string
 	Trials [][]core.HistoryPoint
+	// Errors holds each trial's failure, nil where the trial completed.
+	// A failed or canceled trial keeps whatever history it produced in
+	// its Trials slot; summaries simply draw on fewer complete trials.
+	Errors []error
+}
+
+// Failed counts the trials that did not complete.
+func (c Curve) Failed() int {
+	n := 0
+	for _, err := range c.Errors {
+		if err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // FinalSummary returns the min/median/max of each trial's final
@@ -62,22 +77,21 @@ func Fig10(cfg Config) (map[string][]Curve, error) {
 			}
 			c := Curve{Tool: strat.Name()}
 			c.Trials = make([][]core.HistoryPoint, cfg.Trials)
-			err := cfg.forTrials(func(t int) error {
+			c.Errors = cfg.forTrials(func(t int) error {
 				rc, err := cfg.runConfig([]workload.Model{m}, t)
 				if err != nil {
 					return err
 				}
 				res, err := core.Run(rc, strat)
+				// Keep the partial history even when the run failed or
+				// was cut short; the error is recorded alongside it.
+				c.Trials[t] = res.History
 				if err != nil {
 					return fmt.Errorf("exp: fig10 %s on %s trial %d: %w",
 						strat.Name(), m.Name, t, err)
 				}
-				c.Trials[t] = res.History
 				return nil
 			})
-			if err != nil {
-				return nil, err
-			}
 			curves = append(curves, c)
 		}
 		out[m.Name] = curves

@@ -133,12 +133,29 @@ func (g *GP) Kernel() Kernel { return g.kernel }
 // Predict is called before a successful Fit.
 var ErrNoData = errors.New("gp: no training data")
 
+// ErrNonFinite is returned by Fit when the training data (or, for the
+// primal path, the accumulated moments) contain NaN or ±Inf. Fitting
+// would not panic, but every prediction out of such a model would be
+// NaN; failing loudly lets the caller fall back (daBO degrades to
+// random suggestion) instead of silently searching on garbage.
+var ErrNonFinite = errors.New("gp: non-finite training data")
+
 // Fit trains the GP on the observations. X rows are feature vectors and y
 // the corresponding targets. Both are standardized internally; constant
 // features and constant targets are handled by clamping their scale to 1.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
+	}
+	for i, row := range x {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: input row %d", ErrNonFinite, i)
+			}
+		}
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return fmt.Errorf("%w: target %d", ErrNonFinite, i)
+		}
 	}
 	dim := len(x[0])
 	g.xMean = make([]float64, dim)

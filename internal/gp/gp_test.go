@@ -273,3 +273,20 @@ func TestPredictBatchLengthMismatch(t *testing.T) {
 		t.Fatal("mismatched means length accepted")
 	}
 }
+
+func TestFitRejectsNonFiniteData(t *testing.T) {
+	g := New(Linear{Bias: 1}, 1e-6)
+	if err := g.Fit([][]float64{{1}, {math.NaN()}}, []float64{1, 2}); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN input: err = %v, want ErrNonFinite", err)
+	}
+	if err := g.Fit([][]float64{{1}, {2}}, []float64{1, math.Inf(1)}); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Inf target: err = %v, want ErrNonFinite", err)
+	}
+	// The GP must remain usable after a rejected fit.
+	if err := g.Fit([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}); err != nil {
+		t.Fatalf("clean fit after rejection failed: %v", err)
+	}
+	if _, _, err := g.Predict([]float64{1.5}); err != nil {
+		t.Fatalf("predict after recovery failed: %v", err)
+	}
+}

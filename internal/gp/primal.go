@@ -110,6 +110,23 @@ func accumulate(m *linalg.Matrix, x []float64) {
 	}
 }
 
+// finite reports whether every accumulated moment is a finite number; a
+// single non-finite observation slipped past the caller's filters would
+// otherwise surface only as NaN predictions much later.
+func (p *PrimalStats) finite() bool {
+	for j := 0; j <= p.dim; j++ {
+		for k := j; k <= p.dim; k++ {
+			if v := p.m.At(j, k) + p.pm.At(j, k); math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		if v := p.ty[j]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return !(math.IsNaN(p.syy) || math.IsInf(p.syy, 0))
+}
+
 // constRelTol is the relative-variance floor below which a feature (or
 // the target) is treated as constant and its scale clamped to 1, exactly
 // as the dual form clamps an exactly-zero standard deviation. Moment
@@ -138,6 +155,12 @@ func (p *PrimalStats) Fit(penalty float64) (*PrimalLinear, error) {
 	nt := p.n + p.pn
 	if nt == 0 {
 		return nil, ErrNoData
+	}
+	if math.IsNaN(penalty) || math.IsInf(penalty, 0) {
+		return nil, fmt.Errorf("%w: penalty %v", ErrNonFinite, penalty)
+	}
+	if !p.finite() {
+		return nil, fmt.Errorf("%w: accumulated moments", ErrNonFinite)
 	}
 	d := p.dim
 	fn := float64(nt)

@@ -1,6 +1,7 @@
 package gp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -213,5 +214,29 @@ func TestPrimalPredictBatchAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("PredictBatch allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestPrimalFitRejectsNonFiniteMoments(t *testing.T) {
+	s := NewPrimalStats(1, 1e-6)
+	s.Add([]float64{1, 2}, 1)
+	s.Add([]float64{math.NaN(), 2}, 1) // slips past: Add does not filter
+	if _, err := s.Fit(0); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestPrimalFitRejectsNonFinitePenalty(t *testing.T) {
+	s := NewPrimalStats(1, 1e-6)
+	s.Add([]float64{1, 2}, 1)
+	s.AddPenalized([]float64{3, 4})
+	if _, err := s.Fit(math.Inf(1)); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Inf penalty: err = %v, want ErrNonFinite", err)
+	}
+	if _, err := s.Fit(math.NaN()); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN penalty: err = %v, want ErrNonFinite", err)
+	}
+	if _, err := s.Fit(5); err != nil {
+		t.Fatalf("finite penalty after rejections failed: %v", err)
 	}
 }

@@ -67,6 +67,25 @@ type Cost struct {
 // comparison metric.
 func (c Cost) EDP() float64 { return c.EnergyNJ * c.DelayCycles }
 
+// Finite reports whether every field of the cost is a finite number. A
+// cost model that hangs or crashes is easy to notice; one that returns
+// NaN or ±Inf silently corrupts downstream statistics, so the search
+// runtime classifies non-finite costs as invalid samples.
+func (c Cost) Finite() bool {
+	for _, v := range [...]float64{
+		c.DelayCycles, c.EnergyNJ, c.AreaMM2, c.PowerMW, c.Utilization,
+		c.ComputeCycles, c.DRAMCycles, c.NoCCycles,
+		c.DRAMBytes, c.NoCBytes, c.L2Bytes, c.RFBytes,
+		c.DRAMInputBytes, c.DRAMWeightBytes, c.DRAMOutputBytes,
+		c.RFInputReuse, c.L2InputReuse,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // ThroughputPerJoule returns useful MACs per nJ, used by the §VII-C
 // throughput-per-Joule comparison.
 func (c Cost) ThroughputPerJoule(macs int64) float64 {

@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// ChaosEvaluator wraps an Evaluator and deterministically injects the
+// faults Guard is built to absorb: transient errors, latency spikes,
+// NaN and ±Inf costs, and panics. Each fault is decided by hashing
+// (Seed, evaluated point, per-point attempt number), so a run with a
+// fixed seed injects exactly the same faults at any worker count or
+// interleaving — and a Guard retry of the same point sees a *fresh*
+// draw (the attempt number advances), so injected transients really are
+// transient. It is safe for concurrent use iff the wrapped evaluator
+// is.
+//
+// Rates are independent probabilities checked in order: latency (which
+// delays but does not fail), then panic, then transient error, then —
+// only if the inner evaluation succeeded — NaN, then ±Inf corruption.
+type ChaosEvaluator struct {
+	// Inner is the evaluator being sabotaged.
+	Inner core.Evaluator
+	// Seed selects the fault schedule; two ChaosEvaluators with equal
+	// seeds and rates inject identical faults on identical call streams.
+	Seed int64
+	// TransientRate is the probability a call fails with an error
+	// wrapping ErrTransient.
+	TransientRate float64
+	// LatencyRate is the probability a call sleeps Latency first.
+	LatencyRate float64
+	// Latency is the injected delay (default 1ms when LatencyRate > 0).
+	Latency time.Duration
+	// NaNRate is the probability a successful cost comes back with NaN
+	// in its headline fields.
+	NaNRate float64
+	// InfRate is the probability a successful cost comes back with ±Inf
+	// in its headline fields (checked only if the NaN draw missed).
+	InfRate float64
+	// PanicRate is the probability a call panics.
+	PanicRate float64
+
+	mu       sync.Mutex
+	attempts map[uint64]uint64 // per-point call counter, keyed by hashPoint
+
+	calls      atomic.Int64
+	transients atomic.Int64
+	latencies  atomic.Int64
+	nans       atomic.Int64
+	infs       atomic.Int64
+	panics     atomic.Int64
+}
+
+// InjectionCounts reports how many faults of each kind a ChaosEvaluator
+// actually injected.
+type InjectionCounts struct {
+	Calls      int64
+	Transients int64
+	Latencies  int64
+	NaNs       int64
+	Infs       int64
+	Panics     int64
+}
+
+// Counts returns a snapshot of the injection counters.
+func (c *ChaosEvaluator) Counts() InjectionCounts {
+	return InjectionCounts{
+		Calls:      c.calls.Load(),
+		Transients: c.transients.Load(),
+		Latencies:  c.latencies.Load(),
+		NaNs:       c.nans.Load(),
+		Infs:       c.infs.Load(),
+		Panics:     c.panics.Load(),
+	}
+}
+
+// Name implements core.Evaluator.
+func (c *ChaosEvaluator) Name() string { return "chaos(" + c.Inner.Name() + ")" }
+
+// nextAttempt returns this point's 0-based call number and advances it.
+func (c *ChaosEvaluator) nextAttempt(h uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.attempts == nil {
+		c.attempts = make(map[uint64]uint64)
+	}
+	n := c.attempts[h]
+	c.attempts[h] = n + 1
+	return n
+}
+
+// Evaluate implements core.Evaluator with fault injection.
+func (c *ChaosEvaluator) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	c.calls.Add(1)
+	h := hashPoint(a, s, l)
+	z := mix(mix(uint64(c.Seed), h), c.nextAttempt(h))
+	if unit(mix(z, 1)) < c.LatencyRate {
+		c.latencies.Add(1)
+		d := c.Latency
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+	if unit(mix(z, 2)) < c.PanicRate {
+		c.panics.Add(1)
+		panic(fmt.Sprintf("resilience: injected chaos panic (point %016x)", h))
+	}
+	if unit(mix(z, 3)) < c.TransientRate {
+		c.transients.Add(1)
+		return maestro.Cost{}, fmt.Errorf("resilience: injected chaos fault (point %016x): %w", h, ErrTransient)
+	}
+	cost, err := c.Inner.Evaluate(a, s, l)
+	if err != nil {
+		return cost, err
+	}
+	if unit(mix(z, 4)) < c.NaNRate {
+		c.nans.Add(1)
+		cost.DelayCycles = math.NaN()
+		cost.EnergyNJ = math.NaN()
+		cost.Utilization = math.NaN()
+	} else if unit(mix(z, 5)) < c.InfRate {
+		c.infs.Add(1)
+		sign := 1
+		if mix(z, 6)&1 == 1 {
+			sign = -1
+		}
+		cost.DelayCycles = math.Inf(sign)
+		cost.EnergyNJ = math.Inf(sign)
+	}
+	return cost, nil
+}

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/search"
+	"spotlight/internal/workload"
+)
+
+func chaosModel() workload.Model {
+	return workload.Model{
+		Name: "tiny",
+		Layers: []workload.Layer{
+			workload.Conv("a", 1, 32, 16, 3, 3, 10, 10),
+			workload.Conv("b", 1, 64, 32, 1, 1, 8, 8).Times(2),
+		},
+	}
+}
+
+func chaosConfig(seed int64, eval core.Evaluator) core.RunConfig {
+	return core.RunConfig{
+		Models:    []workload.Model{chaosModel()},
+		Space:     hw.EdgeSpace(),
+		Budget:    hw.EdgeBudget(),
+		Objective: core.MinEDP,
+		HWSamples: 6,
+		SWSamples: 4,
+		Seed:      seed,
+		Eval:      eval,
+	}
+}
+
+func allStrategies() []core.Strategy {
+	return []core.Strategy{
+		core.NewSpotlight(), core.NewSpotlightV(), core.NewSpotlightA(), core.NewSpotlightF(),
+		search.NewRandom(), search.NewGenetic(), search.NewConfuciuX(), search.NewHASCO(),
+	}
+}
+
+// waitForGoroutines polls until the goroutine count returns to the
+// baseline (plus slack for runtime helpers) or the deadline passes.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d now, baseline %d", runtime.NumGoroutine(), baseline)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func wellFormed(t *testing.T, name string, res core.Result) {
+	t.Helper()
+	prev := math.Inf(1)
+	for i, h := range res.History {
+		if h.Sample != i+1 {
+			t.Errorf("%s: history[%d].Sample = %d, want %d", name, i, h.Sample, i+1)
+		}
+		if h.BestSoFar > prev {
+			t.Errorf("%s: BestSoFar rose at sample %d: %v after %v", name, h.Sample, h.BestSoFar, prev)
+		}
+		prev = h.BestSoFar
+	}
+	for _, d := range res.Frontier {
+		if math.IsNaN(d.Objective) {
+			t.Errorf("%s: NaN objective on the frontier", name)
+		}
+	}
+	for _, d := range res.Top {
+		if math.IsNaN(d.Objective) || math.IsInf(d.Objective, 0) {
+			t.Errorf("%s: non-finite objective %v among top designs", name, d.Objective)
+		}
+	}
+}
+
+// TestChaosEveryStrategySurvivesFaults runs each strategy against an
+// evaluator that panics, fails transiently, and returns NaN/±Inf costs,
+// behind a Guard. The run must complete its full budget without
+// panicking, deadlocking, or leaking goroutines, and produce a
+// well-formed Result.
+func TestChaosEveryStrategySurvivesFaults(t *testing.T) {
+	for _, strat := range allStrategies() {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			chaos := &ChaosEvaluator{
+				Inner:         maestro.New(),
+				Seed:          11,
+				TransientRate: 0.05,
+				NaNRate:       0.05,
+				InfRate:       0.03,
+				PanicRate:     0.03,
+			}
+			guard := &Guard{Eval: chaos, Retries: 2}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := core.RunContext(ctx, chaosConfig(5, guard), strat)
+			if err != nil && !errors.Is(err, core.ErrNoFeasible) {
+				t.Fatalf("run failed: %v", err)
+			}
+			if err == nil && len(res.History) != 6 {
+				t.Errorf("history has %d entries, want the full 6", len(res.History))
+			}
+			wellFormed(t, strat.Name(), res)
+			if n := chaos.Counts(); n.Transients+n.NaNs+n.Infs+n.Panics == 0 {
+				t.Logf("warning: seed injected no faults (%+v); consider raising rates", n)
+			}
+			waitForGoroutines(t, baseline)
+		})
+	}
+}
+
+// TestChaosUnguardedPanicPropagates documents the contract split: the
+// search runtime contains worker panics (no leaked goroutines, no torn
+// state) but re-raises them to the caller — converting panics to
+// recorded invalid samples is Guard's job, not the driver's.
+func TestChaosUnguardedPanicPropagates(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	chaos := &ChaosEvaluator{Inner: maestro.New(), Seed: 2, PanicRate: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("run with an always-panicking evaluator did not panic")
+		}
+		waitForGoroutines(t, baseline)
+	}()
+	_, _ = core.RunContext(context.Background(), chaosConfig(1, chaos), core.NewSpotlight())
+}
+
+// TestChaosDeadlineReturnsPartialResult injects latency so the run
+// cannot finish its budget, and checks that RunContext honors the
+// deadline promptly with a well-formed partial Result.
+func TestChaosDeadlineReturnsPartialResult(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	chaos := &ChaosEvaluator{
+		Inner:       maestro.New(),
+		Seed:        4,
+		LatencyRate: 1,
+		Latency:     2 * time.Millisecond,
+	}
+	cfg := chaosConfig(9, chaos)
+	cfg.HWSamples = 1000
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := core.RunContext(ctx, cfg, core.NewSpotlight())
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("RunContext took %v to honor a 100ms deadline", elapsed)
+	}
+	if len(res.History) >= 1000 {
+		t.Fatalf("history has %d entries despite the deadline", len(res.History))
+	}
+	wellFormed(t, "deadline", res)
+	waitForGoroutines(t, baseline)
+}

@@ -243,7 +243,7 @@ func (h *confuciuxHW) resourceNeighbor(a hw.Accel) hw.Accel {
 
 func (h *confuciuxHW) Observe(a hw.Accel, objective float64, err error) {
 	fitness := objective
-	if err != nil {
+	if core.InvalidObservation(objective, err) {
 		fitness = math.Inf(1)
 	}
 	h.seen = append(h.seen, member[hw.Accel]{a, fitness})
@@ -256,7 +256,7 @@ func (h *confuciuxHW) Observe(a hw.Accel, objective float64, err error) {
 	}
 	// REINFORCE update with a running-mean baseline on -log(objective).
 	reward := -50.0 // penalty for infeasible designs
-	if err == nil && !math.IsInf(objective, 1) {
+	if !core.InvalidObservation(objective, err) {
 		reward = -math.Log(math.Max(objective, math.SmallestNonzeroFloat64))
 	}
 	if math.IsNaN(h.baseline) {

@@ -123,7 +123,7 @@ func (h *gaHW) Suggest() hw.Accel {
 }
 
 func (h *gaHW) Observe(a hw.Accel, objective float64, err error) {
-	if err != nil {
+	if core.InvalidObservation(objective, err) {
 		objective = math.Inf(1)
 	}
 	h.pop.insert(a, objective)
@@ -163,7 +163,7 @@ func (w *gaSW) Suggest() sched.Schedule {
 }
 
 func (w *gaSW) Observe(s sched.Schedule, objective float64, err error) {
-	if err != nil {
+	if core.InvalidObservation(objective, err) {
 		objective = math.Inf(1)
 	}
 	w.pop.insert(s, objective)

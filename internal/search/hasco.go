@@ -97,7 +97,7 @@ func restrictedRandom(rng *rand.Rand, s hw.Space) hw.Accel {
 
 func (h *hascoHW) Observe(a hw.Accel, objective float64, err error) {
 	f := core.Transform(h.features, core.Point{Accel: a})
-	if err != nil || math.IsInf(objective, 1) {
+	if core.InvalidObservation(objective, err) {
 		h.dabo.ObserveInvalid(f)
 		return
 	}
@@ -155,7 +155,7 @@ func (w *hascoSW) Suggest() sched.Schedule {
 
 func (w *hascoSW) Observe(_ sched.Schedule, objective float64, err error) {
 	reward := -50.0
-	if err == nil && !math.IsInf(objective, 1) {
+	if !core.InvalidObservation(objective, err) {
 		reward = -math.Log(math.Max(objective, math.SmallestNonzeroFloat64))
 	}
 	w.visits[w.last]++

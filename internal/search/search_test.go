@@ -3,6 +3,7 @@ package search
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"spotlight/internal/core"
@@ -244,5 +245,45 @@ func TestRandomProposersAreUniform(t *testing.T) {
 	}
 	if len(seen) < 30 {
 		t.Fatalf("random hardware proposer drew only %d distinct PE counts", len(seen))
+	}
+}
+
+// TestCheckpointResumeGeneticBitIdentical extends the core resume
+// guarantee to a strategy defined outside core: the GA's population
+// state is reconstructed purely by replaying recorded observations, so
+// a resumed run must match the uninterrupted one exactly.
+func TestCheckpointResumeGeneticBitIdentical(t *testing.T) {
+	cfg := tinyConfig(6)
+	var cps []*core.Checkpoint
+	cfg.OnCheckpoint = func(cp *core.Checkpoint) error {
+		cps = append(cps, cp)
+		return nil
+	}
+	full, err := core.Run(cfg, NewGenetic())
+	if err != nil {
+		t.Fatalf("full run failed: %v", err)
+	}
+	for _, k := range []int{2, 6} {
+		rcfg := tinyConfig(6)
+		rcfg.Resume = cps[k-1]
+		res, err := core.Run(rcfg, NewGenetic())
+		if err != nil {
+			t.Fatalf("resume from sample %d failed: %v", k, err)
+		}
+		if !reflect.DeepEqual(full.Best, res.Best) {
+			t.Errorf("resume from %d: Best diverged", k)
+		}
+		if len(res.History) != len(full.History) {
+			t.Fatalf("resume from %d: history has %d points, want %d", k, len(res.History), len(full.History))
+		}
+		for i := range full.History {
+			w, g := full.History[i], res.History[i]
+			if w.Sample != g.Sample || w.Value != g.Value || w.BestSoFar != g.BestSoFar {
+				t.Errorf("resume from %d: history[%d] diverged: %+v vs %+v", k, i, w, g)
+			}
+		}
+		if !reflect.DeepEqual(full.Top, res.Top) {
+			t.Errorf("resume from %d: Top diverged", k)
+		}
 	}
 }
