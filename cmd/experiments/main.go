@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"spotlight/internal/core"
+	"spotlight/internal/eval"
 	"spotlight/internal/exp"
 )
 
@@ -46,6 +48,10 @@ func run() error {
 		objective = flag.String("objective", "delay", "objective for Figure 6/10/11: delay or edp")
 		outDir    = flag.String("out", "results", "directory for CSV output")
 		parallel  = flag.Bool("parallel", false, "run independent trials concurrently")
+		evalSpec  = flag.String("eval", "maestro",
+			"evaluation pipeline spec: backend[,middleware...] — backends: "+
+				strings.Join(eval.Backends(), ", ")+"; middlewares: cache, guard, stats")
+		evalStats = flag.Bool("eval-stats", false, "print per-backend evaluation and cache statistics at exit")
 	)
 	flag.Parse()
 
@@ -77,6 +83,23 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown objective %q", *objective)
 	}
+
+	// Build the pipeline here rather than letting exp normalize the spec:
+	// sharing one pipeline across every requested step lets the memo cache
+	// deduplicate evaluations between figures, and gives us a stats layer
+	// to report from at exit.
+	cfg.EvalSpec = *evalSpec
+	pipe, err := eval.FromSpec(*evalSpec, eval.SpecOptions{EnsureStats: true})
+	if err != nil {
+		var unknown *eval.UnknownBackendError
+		if errors.As(err, &unknown) {
+			fmt.Fprintln(os.Stderr, "experiments:", unknown)
+			flag.Usage()
+			os.Exit(2)
+		}
+		return err
+	}
+	cfg.Eval = pipe
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -131,6 +154,9 @@ func run() error {
 			return fmt.Errorf("%s: %w", s.key, err)
 		}
 		fmt.Printf("   done in %.1fs\n", time.Since(start).Seconds())
+	}
+	if *evalStats {
+		fmt.Print(pipe.Report())
 	}
 	return nil
 }

@@ -23,13 +23,10 @@ import (
 	"time"
 
 	"spotlight/internal/core"
+	"spotlight/internal/eval"
 	"spotlight/internal/exp"
 	"spotlight/internal/hw"
-	"spotlight/internal/maestro"
-	"spotlight/internal/resilience"
 	"spotlight/internal/search"
-	"spotlight/internal/sim"
-	"spotlight/internal/timeloop"
 	"spotlight/internal/workload"
 )
 
@@ -49,12 +46,14 @@ func run() error {
 		swSamples  = flag.Int("sw", 100, "software samples per layer per hardware sample")
 		seed       = flag.Int64("seed", 1, "random seed")
 		strategy   = flag.String("strategy", "spotlight", "search strategy: spotlight, spotlight-v, spotlight-a, spotlight-f, random, ga, confuciux, hasco")
-		backend    = flag.String("backend", "maestro", "cost model backend: maestro, timeloop, or sim (hybrid trace-driven)")
+		evalSpec   = flag.String("eval", "", "evaluation pipeline spec: backend[,middleware...], e.g. \"maestro\", \"sim,cache,guard\" (backends: "+strings.Join(eval.Backends(), ", ")+"; middlewares: cache, guard, stats)")
+		backend    = flag.String("backend", "", "deprecated: backend name only; use -eval (kept as an alias)")
+		evalStats  = flag.Bool("eval-stats", false, "print per-backend evaluation and cache statistics after the run")
 		historyCSV = flag.String("history", "", "write the per-sample convergence history to this CSV file")
 		jsonOut    = flag.String("json", "", "write the winning design (accelerator + schedules) to this JSON file")
 		verbose    = flag.Bool("v", false, "print per-layer schedules")
 		frontier   = flag.Bool("frontier", false, "print the pareto frontier and the budget-closest selection")
-		reevaluate = flag.String("reevaluate", "", "skip the search: load a design JSON (from -json) and re-cost it on -backend")
+		reevaluate = flag.String("reevaluate", "", "skip the search: load a design JSON (from -json) and re-cost it on the -eval pipeline")
 
 		workers     = flag.Int("workers", 0, "concurrent layer searches per hardware sample (0 = one per core); results are identical at any setting")
 		timeout     = flag.Duration("timeout", 0, "overall search deadline (e.g. 30m); on expiry the partial result is reported (0 = none)")
@@ -95,30 +94,49 @@ func run() error {
 		return fmt.Errorf("unknown objective %q", *objective)
 	}
 
-	var eval core.Evaluator
-	switch *backend {
-	case "maestro":
-		eval = maestro.New()
-	case "timeloop":
-		eval = timeloop.New()
-	case "sim":
-		eval = sim.NewBackend(sim.Options{})
-	default:
-		return fmt.Errorf("unknown backend %q", *backend)
+	// The whole evaluation stack — backend, memo cache, fault guard,
+	// stats — is assembled by internal/eval from one spec string.
+	// -eval-timeout / -eval-retries configure the guard layer and force
+	// one into the chain if the spec named none.
+	spec := *evalSpec
+	if spec == "" {
+		spec = *backend // deprecated alias: bare backend name
 	}
-
-	if *evalTimeout > 0 || *evalRetries > 0 {
-		eval = &resilience.Guard{
-			Eval:    eval,
+	if spec == "" {
+		spec = "maestro"
+	}
+	pipe, err := eval.FromSpec(spec, eval.SpecOptions{
+		Guard: eval.GuardOptions{
 			Timeout: *evalTimeout,
 			Retries: *evalRetries,
 			Backoff: 50 * time.Millisecond,
 			Seed:    *seed,
+		},
+		EnsureStats: true,
+	})
+	if err != nil {
+		// An unknown backend is a usage error: say what exists and how
+		// to ask for it, instead of a bare failure.
+		var unknown *eval.UnknownBackendError
+		if errors.As(err, &unknown) {
+			fmt.Fprintf(os.Stderr, "spotlight: %v\n\n", unknown)
+			flag.Usage()
+			os.Exit(2)
+		}
+		return err
+	}
+	reportStats := func() {
+		if *evalStats {
+			fmt.Print(pipe.Report())
 		}
 	}
 
 	if *reevaluate != "" {
-		return reevaluateDesign(*reevaluate, eval, obj, models)
+		if err := reevaluateDesign(*reevaluate, pipe, obj, models); err != nil {
+			return err
+		}
+		reportStats()
+		return nil
 	}
 
 	strat, err := strategyByName(*strategy)
@@ -134,7 +152,7 @@ func run() error {
 		HWSamples: *hwSamples,
 		SWSamples: *swSamples,
 		Seed:      *seed,
-		Eval:      eval,
+		Eval:      pipe,
 		Workers:   *workers,
 	}
 	if *resumeFrom != "" {
@@ -186,6 +204,7 @@ func run() error {
 		fmt.Printf("partial result after %d of %d hardware samples:\n", len(res.History), *hwSamples)
 	}
 	report(res, obj, *verbose)
+	reportStats()
 	if *frontier {
 		reportFrontier(res, budget)
 	}
@@ -256,7 +275,7 @@ func report(res core.Result, obj core.Objective, verbose bool) {
 // schedules on the selected backend, printing per-layer and aggregate
 // results — the §VII-F workflow of carrying a design to another
 // evaluation medium.
-func reevaluateDesign(path string, eval core.Evaluator, obj core.Objective, models []workload.Model) error {
+func reevaluateDesign(path string, ev core.Evaluator, obj core.Objective, models []workload.Model) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -276,7 +295,7 @@ func reevaluateDesign(path string, eval core.Evaluator, obj core.Objective, mode
 			layersByName[m.Name+"/"+l.Name] = l
 		}
 	}
-	fmt.Printf("re-evaluating %s design on backend %q\n", e.Tool, eval.Name())
+	fmt.Printf("re-evaluating %s design on backend %q\n", e.Tool, ev.Name())
 	var energy, delay float64
 	infeasible := 0
 	for _, le := range e.Layers {
@@ -288,7 +307,7 @@ func reevaluateDesign(path string, eval core.Evaluator, obj core.Objective, mode
 		if err != nil {
 			return err
 		}
-		c, err := eval.Evaluate(accel, s, layer)
+		c, err := ev.Evaluate(accel, s, layer)
 		if err != nil {
 			infeasible++
 			fmt.Printf("  %-16s infeasible on this backend (%v)\n", le.Layer, err)
@@ -302,7 +321,7 @@ func reevaluateDesign(path string, eval core.Evaluator, obj core.Objective, mode
 	}
 	if infeasible > 0 {
 		fmt.Printf("%d layers infeasible on this backend — re-tune with -strategy spotlight -backend %s\n",
-			infeasible, eval.Name())
+			infeasible, ev.Name())
 		return nil
 	}
 	fmt.Printf("aggregate %s = %.6g (was %.6g on %s)\n",

@@ -34,7 +34,13 @@ type RunConfig struct {
 	SWSamples    int
 	SWConstraint sched.Constraint // software space; zero value means Free
 	Seed         int64
-	Eval         Evaluator
+	// Eval is the cost-model pipeline the search drives — typically an
+	// *eval.Pipeline built with eval.FromSpec (backend + middleware
+	// stack), though any Evaluator works. When the evaluator can
+	// validate its own composition (it implements Validate() error, as
+	// pipelines do), normalized() checks it before the run starts, so a
+	// mis-assembled pipeline fails fast instead of on sample one.
+	Eval Evaluator
 	// Workers bounds how many layers are optimized concurrently within
 	// one hardware sample; the per-layer software searches are
 	// independent given a fixed accelerator, so they scale with cores.
@@ -70,6 +76,13 @@ func (c RunConfig) normalized() (RunConfig, error) {
 	}
 	if c.Eval == nil {
 		return c, errors.New("core: no evaluator configured")
+	}
+	// Evaluation pipelines know how to check their own composition; a
+	// bare backend (or a test double) without Validate is taken as-is.
+	if v, ok := c.Eval.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return c, fmt.Errorf("core: invalid evaluator pipeline: %w", err)
+		}
 	}
 	if c.HWSamples <= 0 {
 		c.HWSamples = 100

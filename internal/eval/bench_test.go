@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"testing"
+)
+
+// BenchmarkEvalCache measures the memo cache against the bare analytical
+// backend: "bare" is the uncached cost of one evaluation, "miss" adds
+// the cache's bookkeeping on the cold path, "hit" and "concurrent" are
+// the warm path serially and under parallel load. CI runs this with
+// -benchtime=1x as a smoke test; see DESIGN.md for recorded numbers.
+func BenchmarkEvalCache(b *testing.B) {
+	const keys = 256
+	trs := randomTriples(9, keys)[:keys]
+
+	b.Run("bare", func(b *testing.B) {
+		backend, err := Open("maestro")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := trs[i%keys]
+			backend.Evaluate(tr.a, tr.s, tr.l)
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		pipe := MustFromSpec("maestro,cache", SpecOptions{})
+		base := trs[0]
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l := base.l
+			l.N = i + 1 // unique batch size per iteration: every call is cold
+			pipe.Evaluate(base.a, base.s, l)
+		}
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		pipe := MustFromSpec("maestro,cache", SpecOptions{})
+		for _, tr := range trs {
+			pipe.Evaluate(tr.a, tr.s, tr.l)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := trs[i%keys]
+			pipe.Evaluate(tr.a, tr.s, tr.l)
+		}
+	})
+
+	b.Run("concurrent", func(b *testing.B) {
+		pipe := MustFromSpec("maestro,cache", SpecOptions{})
+		for _, tr := range trs {
+			pipe.Evaluate(tr.a, tr.s, tr.l)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				tr := trs[i%keys]
+				i++
+				pipe.Evaluate(tr.a, tr.s, tr.l)
+			}
+		})
+	})
+}

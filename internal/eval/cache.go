@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// cacheShards is the number of independently locked segments of the memo
+// cache. A power of two so shard selection is a mask; 64 keeps lock
+// contention negligible at any realistic worker count while costing only
+// a few KB of fixed overhead.
+const cacheShards = 64
+
+// Key is the canonical cache identity of one evaluation. The three
+// inputs are plain value types (ints, int arrays, and the layer name),
+// so Go's struct equality is exact — two keys are equal iff the backend
+// would see identical inputs — and the key is directly usable as a map
+// key with no serialization. The only canonicalization applied is to
+// Layer.Repeat, which is zeroed: Repeat weights a layer's cost in
+// model-level aggregates but never reaches the backend's per-evaluation
+// math, so shapes that differ only in repeat count share one entry.
+type Key struct {
+	Accel hw.Accel
+	Sched sched.Schedule
+	Layer workload.Layer
+}
+
+// CanonicalKey builds the cache key for one evaluation, applying the
+// canonicalization described on Key.
+func CanonicalKey(a hw.Accel, s sched.Schedule, l workload.Layer) Key {
+	l.Repeat = 0
+	return Key{Accel: a, Sched: s, Layer: l}
+}
+
+// Fingerprint folds a key into 64 bits with a splitmix64-style mixer.
+// The cache uses it only to pick a shard — entry identity is the full
+// Key, so fingerprint collisions cost contention, never correctness.
+func Fingerprint(k Key) uint64 {
+	z := uint64(0x5307159b0a575e11)
+	for _, v := range [...]int{k.Accel.PEs, k.Accel.Width, k.Accel.SIMDLanes,
+		k.Accel.RFKB, k.Accel.L2KB, k.Accel.NoCBW} {
+		z = fpMix(z, uint64(v))
+	}
+	for i := 0; i < workload.NumDims; i++ {
+		z = fpMix(z, uint64(k.Sched.T2[i]))
+		z = fpMix(z, uint64(k.Sched.T1[i]))
+		z = fpMix(z, uint64(k.Sched.OuterOrder[i]))
+		z = fpMix(z, uint64(k.Sched.InnerOrder[i]))
+	}
+	z = fpMix(z, uint64(k.Sched.OuterUnroll))
+	z = fpMix(z, uint64(k.Sched.InnerUnroll))
+	for _, c := range k.Layer.Name {
+		z = fpMix(z, uint64(c))
+	}
+	for _, v := range [...]int{int(k.Layer.Op), k.Layer.N, k.Layer.K, k.Layer.C,
+		k.Layer.R, k.Layer.S, k.Layer.X, k.Layer.Y,
+		k.Layer.StrideX, k.Layer.StrideY, k.Layer.Repeat} {
+		z = fpMix(z, uint64(v))
+	}
+	return z
+}
+
+// fpMix is a splitmix64-style finalizer folding s into state z, the same
+// construction core and resilience use for seed derivation.
+func fpMix(z, s uint64) uint64 {
+	z ^= s + 0x9e3779b97f4a7c15 + (z << 6) + (z >> 2)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// cacheEntry is one memoized (or in-flight) evaluation. done is closed
+// when cost/err are final; keep reports whether the outcome was
+// memoizable (followers of a non-kept entry re-evaluate themselves).
+type cacheEntry struct {
+	done chan struct{}
+	cost maestro.Cost
+	err  error
+	keep bool
+}
+
+// cacheShard is one locked segment of the memo table.
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[Key]*cacheEntry
+}
+
+// Cache memoizes evaluations of its inner evaluator, keyed on the
+// canonical (accelerator, schedule, layer) triple. It exists because the
+// search runtime re-evaluates many identical triples: BO reruns propose
+// duplicate schedules, checkpoint replays re-walk old samples, and the
+// Pareto/figure harnesses re-cost the same designs across
+// configurations. The table is sharded for concurrency and deduplicates
+// in-flight work single-flight style: when several workers ask for the
+// same key at once, one evaluates and the rest wait for its result.
+//
+// Memoization preserves the evaluator contract bit-exactly: a hit
+// returns the identical maestro.Cost value and the identical error the
+// miss produced. Successful evaluations and infeasibility verdicts
+// (errors wrapping maestro.ErrInvalid) are memoized — both are
+// deterministic properties of the design point. Any other error
+// (timeouts, injected transients, panics converted by a guard below) is
+// returned but NOT memoized, so a fault never poisons the cache.
+//
+// Entries are never evicted: a co-design run's working set is bounded by
+// its sample budget, and the figure harnesses want cross-trial reuse.
+// The zero value is not usable; build one with WithCache.
+type Cache struct {
+	inner  core.Evaluator
+	shards [cacheShards]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	entries   atomic.Int64
+}
+
+// WithCache returns the memo-cache middleware.
+func WithCache() Middleware {
+	return func(inner core.Evaluator) core.Evaluator {
+		c := &Cache{inner: inner}
+		for i := range c.shards {
+			c.shards[i].m = make(map[Key]*cacheEntry)
+		}
+		return c
+	}
+}
+
+// Name implements core.Evaluator. The cache is trajectory-neutral — a
+// cached pipeline returns bit-identical results to an uncached one — so
+// it is transparent in the name (and the checkpoint fingerprint).
+func (c *Cache) Name() string { return c.inner.Name() }
+
+// Evaluate implements core.Evaluator with memoization and single-flight
+// deduplication.
+func (c *Cache) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	key := CanonicalKey(a, s, l)
+	shard := &c.shards[Fingerprint(key)&(cacheShards-1)]
+	for {
+		shard.mu.Lock()
+		if e, ok := shard.m[key]; ok {
+			shard.mu.Unlock()
+			inFlight := false
+			select {
+			case <-e.done:
+			default:
+				inFlight = true // wait for the leader, single-flight style
+			}
+			<-e.done
+			if inFlight {
+				c.coalesced.Add(1)
+			}
+			if e.keep {
+				c.hits.Add(1)
+				return e.cost, e.err
+			}
+			// The leader's outcome was not memoizable (transient fault,
+			// or the leader panicked); it withdrew the entry, so retry
+			// as a leader.
+			continue
+		}
+		e := &cacheEntry{done: make(chan struct{})}
+		shard.m[key] = e
+		shard.mu.Unlock()
+		return c.lead(shard, key, e, a, s, l)
+	}
+}
+
+// lead runs the one real evaluation for a key and publishes the result.
+// If the evaluation panics (no guard below the cache), the entry is
+// withdrawn before the panic propagates so waiting followers retry
+// instead of blocking forever.
+func (c *Cache) lead(shard *cacheShard, key Key, e *cacheEntry,
+	a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+
+	finished := false
+	defer func() {
+		if !finished { // panicking: withdraw and release followers
+			shard.mu.Lock()
+			delete(shard.m, key)
+			shard.mu.Unlock()
+			close(e.done)
+		}
+	}()
+	cost, err := c.inner.Evaluate(a, s, l)
+	finished = true
+
+	e.cost, e.err = cost, err
+	e.keep = err == nil || errors.Is(err, maestro.ErrInvalid)
+	if e.keep {
+		c.entries.Add(1)
+	} else {
+		shard.mu.Lock()
+		delete(shard.m, key)
+		shard.mu.Unlock()
+	}
+	c.misses.Add(1)
+	close(e.done)
+	return cost, err
+}
+
+// CacheSnapshot is a point-in-time view of the cache counters.
+type CacheSnapshot struct {
+	Hits      int64 // calls answered from a memoized entry
+	Misses    int64 // calls that reached the inner evaluator
+	Coalesced int64 // calls that waited on another caller's in-flight evaluation
+	Entries   int64 // memoized results currently resident
+}
+
+// Snapshot returns the current counters. It is safe to call
+// concurrently with Evaluate; the fields are read individually, so a
+// snapshot taken mid-flight may be off by in-flight calls.
+func (c *Cache) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   c.entries.Load(),
+	}
+}

@@ -1,0 +1,216 @@
+// Package eval unifies access to the cost-model backends behind one
+// composable evaluation pipeline. The paper's §VIII anticipates swapping
+// in "more costly but more accurate evaluation backends", and every
+// consumer of the cost model — the nested daBO driver in internal/core,
+// the baselines in internal/search, the figure harnesses in
+// internal/exp, and both CLIs — needs the same supporting machinery
+// around whichever backend it runs: fault containment, memoization, and
+// instrumentation. This package provides that machinery once:
+//
+//   - A named backend registry: Register associates a name with a
+//     constructor, Open instantiates by name, and Backends lists what is
+//     available. The three bundled backends (maestro, timeloop, sim)
+//     self-register.
+//   - A middleware chain: Chain(backend, mw...) wraps a backend in
+//     layers that each preserve the evaluator contract. The bundled
+//     middlewares are WithCache (a sharded, concurrency-safe memo cache
+//     with single-flight deduplication), WithStats (atomic per-backend
+//     eval/invalid/error/latency counters), and WithGuard (the
+//     resilience.Guard panic/timeout/retry policy).
+//   - A spec language: FromSpec("sim,cache,guard") builds the whole
+//     pipeline from one flag-friendly string, which is how the CLIs and
+//     the experiment harness configure evaluation.
+//
+// A Pipeline satisfies core.Evaluator, so it drops into
+// core.RunConfig.Eval unchanged. An uncached, unguarded pipeline is a
+// pure pass-through: it produces bit-identical results (and therefore
+// bit-identical search History) to calling the backend directly.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/sched"
+	"spotlight/internal/sim"
+	"spotlight/internal/workload"
+)
+
+// Factory constructs one backend instance. Factories are invoked once
+// per Open call, so every pipeline owns its backend (stateful backends
+// like sim's hybrid never alias across pipelines).
+type Factory func() (core.Evaluator, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register associates a backend name with its constructor. Registering
+// an empty name, a nil factory, or a duplicate name panics: registration
+// happens at init time, where a loud failure beats a shadowed backend.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || f == nil {
+		panic("eval: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic("eval: Register called twice for backend " + name)
+	}
+	registry[name] = f
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// UnknownBackendError is returned by Open (and FromSpec) for a name with
+// no registered backend. It lists what is registered so CLIs can print
+// an actionable message instead of a bare failure.
+type UnknownBackendError struct {
+	Name       string
+	Registered []string
+}
+
+// Error implements error.
+func (e *UnknownBackendError) Error() string {
+	return fmt.Sprintf("eval: unknown backend %q (registered backends: %s)",
+		e.Name, strings.Join(e.Registered, ", "))
+}
+
+// Open instantiates the named backend. An unknown name returns an
+// *UnknownBackendError listing the registered names.
+func Open(name string) (core.Evaluator, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, &UnknownBackendError{Name: name, Registered: Backends()}
+	}
+	return f()
+}
+
+// Middleware is one layer of an evaluation pipeline: it wraps an
+// evaluator in another evaluator. Middlewares must preserve the
+// evaluator contract — in particular the error classification (errors
+// wrapping maestro.ErrInvalid mark infeasible points) — and must be safe
+// for concurrent Evaluate calls whenever the wrapped evaluator is.
+type Middleware func(core.Evaluator) core.Evaluator
+
+// Pipeline is a backend composed with its middleware stack. It
+// implements core.Evaluator (Evaluate and Name delegate to the outermost
+// layer) plus Validate, which core.RunConfig checks before a run starts.
+// Handles to the cache and stats layers, when present, are retained for
+// reporting.
+type Pipeline struct {
+	backend core.Evaluator // innermost layer
+	outer   core.Evaluator // fully composed chain
+	cache   *Cache         // nil when the chain has no cache layer
+	stats   *Stats         // nil when the chain has no stats layer
+	spec    string         // the spec the pipeline was built from, if any
+}
+
+// Chain composes a backend with middlewares, innermost first: the first
+// middleware wraps the backend directly, the last sees every call first.
+// When the backend is sim's hybrid and the chain contains a stats layer,
+// the backend's path events (simulated/fallback) are wired into that
+// layer, so backend-specific counters live in the middleware rather
+// than the backend.
+func Chain(backend core.Evaluator, mw ...Middleware) *Pipeline {
+	p := &Pipeline{backend: backend, outer: backend}
+	for _, m := range mw {
+		if m == nil {
+			continue
+		}
+		p.outer = m(p.outer)
+		switch layer := p.outer.(type) {
+		case *Cache:
+			p.cache = layer
+		case *Stats:
+			p.stats = layer
+		}
+	}
+	if b, ok := backend.(*sim.Backend); ok && p.stats != nil {
+		b.Events = p.stats
+	}
+	return p
+}
+
+// Evaluate implements core.Evaluator.
+func (p *Pipeline) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	return p.outer.Evaluate(a, s, l)
+}
+
+// Name implements core.Evaluator. Trajectory-neutral layers (cache,
+// stats) are name-transparent, so a pipeline's name — and with it the
+// checkpoint fingerprint — depends only on the layers that can change
+// what the search observes (the backend, and guard under faults).
+func (p *Pipeline) Name() string { return p.outer.Name() }
+
+// Validate reports whether the pipeline is runnable: a backend must be
+// present, and every layer must have wrapped rather than dropped its
+// inner evaluator. core.RunConfig calls this before a search starts.
+func (p *Pipeline) Validate() error {
+	if p == nil {
+		return errors.New("eval: nil pipeline")
+	}
+	if p.backend == nil {
+		return errors.New("eval: pipeline has no backend")
+	}
+	if p.outer == nil {
+		return errors.New("eval: pipeline chain is broken (middleware returned nil)")
+	}
+	if p.backend.Name() == "" {
+		return errors.New("eval: backend has an empty name")
+	}
+	return nil
+}
+
+// Backend returns the innermost layer of the pipeline.
+func (p *Pipeline) Backend() core.Evaluator { return p.backend }
+
+// Cache returns the pipeline's cache layer, or nil.
+func (p *Pipeline) Cache() *Cache { return p.cache }
+
+// Stats returns the pipeline's stats layer, or nil.
+func (p *Pipeline) Stats() *Stats { return p.stats }
+
+// Spec returns the spec string the pipeline was built from (empty for
+// hand-assembled chains).
+func (p *Pipeline) Spec() string { return p.spec }
+
+// Report renders the pipeline's counters — per-backend stats first, then
+// the cache — as human-readable lines, for the CLIs to print after a
+// run. It returns "" when the pipeline has neither layer.
+func (p *Pipeline) Report() string {
+	var b strings.Builder
+	if p.stats != nil {
+		s := p.stats.Snapshot()
+		fmt.Fprintf(&b, "eval stats [%s]: evals=%d ok=%d invalid=%d errors=%d avg=%s\n",
+			s.Backend, s.Evals, s.OK, s.Invalid, s.Errors, s.AvgLatency())
+		for _, ev := range s.EventNames() {
+			fmt.Fprintf(&b, "eval stats [%s]: %s=%d\n", s.Backend, ev, s.Events[ev])
+		}
+	}
+	if p.cache != nil {
+		c := p.cache.Snapshot()
+		fmt.Fprintf(&b, "eval cache: hits=%d misses=%d coalesced=%d entries=%d\n",
+			c.Hits, c.Misses, c.Coalesced, c.Entries)
+	}
+	return b.String()
+}

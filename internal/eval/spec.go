@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spotlight/internal/core"
+	"spotlight/internal/maestro"
+	"spotlight/internal/resilience"
+	"spotlight/internal/sim"
+	"spotlight/internal/timeloop"
+)
+
+// The three bundled backends self-register, so eval.Open and -eval spec
+// strings know them by name with no further wiring.
+func init() {
+	Register("maestro", func() (core.Evaluator, error) { return maestro.New(), nil })
+	Register("timeloop", func() (core.Evaluator, error) { return timeloop.New(), nil })
+	Register("sim", func() (core.Evaluator, error) { return sim.NewBackend(sim.Options{}), nil })
+}
+
+// GuardOptions configures the guard middleware — the resilience.Guard
+// policy refitted as a pipeline layer. The zero value disables timeout
+// and retries but keeps panic-to-error conversion, exactly like the
+// underlying Guard.
+type GuardOptions struct {
+	Timeout time.Duration // bound on one evaluation; 0 disables
+	Retries int           // retries for transient faults
+	Backoff time.Duration // base retry backoff, doubling per attempt
+	Seed    int64         // decorrelates backoff jitter across runs
+}
+
+// configured reports whether the options ask for more than the
+// unconditional panic conversion.
+func (g GuardOptions) configured() bool { return g.Timeout > 0 || g.Retries > 0 }
+
+// WithGuard returns the fault-containment middleware: panic recovery, a
+// per-call timeout, and seeded retry-with-backoff for transient faults.
+// This is the only place in the tree that constructs a resilience.Guard;
+// call sites compose it by putting "guard" in their pipeline spec.
+func WithGuard(opts GuardOptions) Middleware {
+	return func(inner core.Evaluator) core.Evaluator {
+		return &resilience.Guard{
+			Eval:    inner,
+			Timeout: opts.Timeout,
+			Retries: opts.Retries,
+			Backoff: opts.Backoff,
+			Seed:    opts.Seed,
+		}
+	}
+}
+
+// SpecOptions parameterizes FromSpec: the guard layer's policy and
+// whether a stats layer is guaranteed.
+type SpecOptions struct {
+	// Guard configures any "guard" token in the spec. When Guard asks
+	// for a timeout or retries and the spec has no "guard" token, a
+	// guard layer is appended outermost — so a CLI's -eval-timeout
+	// keeps working whatever the -eval spec says.
+	Guard GuardOptions
+	// EnsureStats inserts a stats layer directly above the backend when
+	// the spec does not name one, so callers that report statistics
+	// always have a layer to read.
+	EnsureStats bool
+}
+
+// FromSpec builds a pipeline from a comma-separated spec string: the
+// first element names the backend (see Backends), each following element
+// names a middleware applied in order, innermost first. "sim,cache,guard"
+// is the sim backend, memoized, with the guard outermost (so retried
+// faults re-enter the cache, and cache hits skip the guard's machinery).
+//
+// Middleware tokens: "cache" (memo cache with single-flight dedup),
+// "stats" (per-backend counters), "guard" (panic/timeout/retry policy).
+// An unknown backend name returns *UnknownBackendError; an unknown
+// middleware token returns a plain error naming the valid tokens.
+func FromSpec(spec string, opts SpecOptions) (*Pipeline, error) {
+	parts := strings.Split(spec, ",")
+	name := strings.TrimSpace(parts[0])
+	if name == "" {
+		return nil, fmt.Errorf("eval: empty pipeline spec (want \"backend[,middleware...]\", e.g. %q)", "sim,cache,guard")
+	}
+	backend, err := Open(name)
+	if err != nil {
+		return nil, err
+	}
+
+	var mws []Middleware
+	hasStats, hasGuard := false, false
+	for _, tok := range parts[1:] {
+		switch tok = strings.TrimSpace(tok); tok {
+		case "cache":
+			mws = append(mws, WithCache())
+		case "stats":
+			mws = append(mws, WithStats())
+			hasStats = true
+		case "guard":
+			mws = append(mws, WithGuard(opts.Guard))
+			hasGuard = true
+		case "":
+			return nil, fmt.Errorf("eval: empty middleware token in spec %q", spec)
+		default:
+			return nil, fmt.Errorf("eval: unknown middleware %q in spec %q (middlewares: cache, guard, stats)", tok, spec)
+		}
+	}
+	if opts.EnsureStats && !hasStats {
+		mws = append([]Middleware{WithStats()}, mws...)
+	}
+	if opts.Guard.configured() && !hasGuard {
+		mws = append(mws, WithGuard(opts.Guard))
+	}
+	p := Chain(backend, mws...)
+	p.spec = spec
+	return p, nil
+}
+
+// MustFromSpec is FromSpec for static specs known to be valid; it panics
+// on error. Intended for defaults and tests, not user input.
+func MustFromSpec(spec string, opts SpecOptions) *Pipeline {
+	p, err := FromSpec(spec, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

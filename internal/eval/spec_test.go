@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromSpecUnknownBackend(t *testing.T) {
+	_, err := FromSpec("no-such-backend,cache", SpecOptions{})
+	var unknown *UnknownBackendError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error %v (%T), want *UnknownBackendError", err, err)
+	}
+}
+
+func TestFromSpecRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{"", " ", "maestro,", "maestro,,cache", "maestro,turbo"} {
+		if _, err := FromSpec(spec, SpecOptions{}); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+	if _, err := FromSpec("maestro,turbo", SpecOptions{}); !strings.Contains(err.Error(), "cache, guard, stats") {
+		t.Fatalf("unknown-middleware error %v does not list the valid tokens", err)
+	}
+}
+
+func TestFromSpecLayerSelection(t *testing.T) {
+	p := MustFromSpec("sim,cache,guard", SpecOptions{})
+	if p.Cache() == nil {
+		t.Fatal("cache layer missing")
+	}
+	if p.Stats() != nil {
+		t.Fatal("stats layer present without EnsureStats or a stats token")
+	}
+	if got := p.Name(); got != "guard(sim-hybrid)" {
+		t.Fatalf("Name() = %q, want guard(sim-hybrid)", got)
+	}
+	if p.Spec() != "sim,cache,guard" {
+		t.Fatalf("Spec() = %q", p.Spec())
+	}
+}
+
+func TestFromSpecEnsureStats(t *testing.T) {
+	p := MustFromSpec("maestro,cache", SpecOptions{EnsureStats: true})
+	if p.Stats() == nil {
+		t.Fatal("EnsureStats did not add a stats layer")
+	}
+	// The implicit stats layer sits directly above the backend: it
+	// reports the backend's name, and cache hits never reach it.
+	if got := p.Stats().Snapshot().Backend; got != "maestro" {
+		t.Fatalf("stats wraps %q, want the backend", got)
+	}
+}
+
+func TestFromSpecGuardAutoAppend(t *testing.T) {
+	opts := SpecOptions{Guard: GuardOptions{Timeout: time.Second}}
+	// A configured guard policy is honored even when the spec omits it...
+	p := MustFromSpec("maestro", opts)
+	if got := p.Name(); got != "guard(maestro)" {
+		t.Fatalf("Name() = %q, want auto-appended guard", got)
+	}
+	// ...and not doubled when the spec already has one.
+	p = MustFromSpec("maestro,guard", opts)
+	if got := p.Name(); got != "guard(maestro)" {
+		t.Fatalf("Name() = %q, guard appears doubled", got)
+	}
+	// An unconfigured policy adds nothing.
+	p = MustFromSpec("maestro", SpecOptions{})
+	if got := p.Name(); got != "maestro" {
+		t.Fatalf("Name() = %q, want bare backend", got)
+	}
+}
+
+func TestMustFromSpecPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromSpec did not panic")
+		}
+	}()
+	MustFromSpec("no-such-backend", SpecOptions{})
+}

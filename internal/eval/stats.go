@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// Stats counts what its inner evaluator does: evaluations, outcomes by
+// classification (ok / infeasible / other error), and cumulative
+// latency. All counters are atomic, so the layer adds no lock to the
+// hot path and is safe under any worker count. It also implements
+// sim.EventSink, absorbing backend-specific path events (the hybrid
+// backend's simulated/fallback decision) so backends keep no counters of
+// their own.
+//
+// Placed directly above the backend (where FromSpec puts it), Stats
+// measures true backend work — cache hits never reach it. Placed
+// outermost it measures request traffic instead; both are valid, the
+// spec order chooses.
+type Stats struct {
+	inner core.Evaluator
+
+	evals     atomic.Int64
+	ok        atomic.Int64
+	invalid   atomic.Int64
+	errs      atomic.Int64
+	latencyNS atomic.Int64
+
+	eventMu sync.Mutex
+	events  map[string]int64
+}
+
+// WithStats returns the stats middleware.
+func WithStats() Middleware {
+	return func(inner core.Evaluator) core.Evaluator {
+		return &Stats{inner: inner, events: make(map[string]int64)}
+	}
+}
+
+// Name implements core.Evaluator. Stats never changes results, so it is
+// transparent in the name (and the checkpoint fingerprint).
+func (st *Stats) Name() string { return st.inner.Name() }
+
+// Evaluate implements core.Evaluator, counting the call and its outcome.
+func (st *Stats) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	start := time.Now()
+	cost, err := st.inner.Evaluate(a, s, l)
+	st.latencyNS.Add(int64(time.Since(start)))
+	st.evals.Add(1)
+	switch {
+	case err == nil:
+		st.ok.Add(1)
+	case errors.Is(err, maestro.ErrInvalid):
+		st.invalid.Add(1)
+	default:
+		st.errs.Add(1)
+	}
+	return cost, err
+}
+
+// Event implements sim.EventSink: named backend events are tallied into
+// the snapshot's Events map.
+func (st *Stats) Event(name string) {
+	st.eventMu.Lock()
+	st.events[name]++
+	st.eventMu.Unlock()
+}
+
+// StatsSnapshot is a point-in-time view of the stats counters.
+type StatsSnapshot struct {
+	Backend string // name of the evaluator the layer wraps
+	Evals   int64  // calls that reached the inner evaluator
+	OK      int64  // successful evaluations
+	Invalid int64  // errors wrapping maestro.ErrInvalid (infeasible points)
+	Errors  int64  // any other error (faults, timeouts)
+	Latency time.Duration
+	Events  map[string]int64 // named backend events (e.g. sim's simulated/fallback)
+}
+
+// AvgLatency returns the mean per-call latency, or 0 before any call.
+func (s StatsSnapshot) AvgLatency() time.Duration {
+	if s.Evals == 0 {
+		return 0
+	}
+	return s.Latency / time.Duration(s.Evals)
+}
+
+// EventNames returns the snapshot's event names, sorted for stable
+// reporting.
+func (s StatsSnapshot) EventNames() []string {
+	names := make([]string, 0, len(s.Events))
+	for name := range s.Events {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the snapshot compactly.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("%s: evals=%d ok=%d invalid=%d errors=%d avg=%s",
+		s.Backend, s.Evals, s.OK, s.Invalid, s.Errors, s.AvgLatency())
+}
+
+// Snapshot returns the current counters. The Events map is a copy.
+func (st *Stats) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Backend: st.inner.Name(),
+		Evals:   st.evals.Load(),
+		OK:      st.ok.Load(),
+		Invalid: st.invalid.Load(),
+		Errors:  st.errs.Load(),
+		Latency: time.Duration(st.latencyNS.Load()),
+	}
+	st.eventMu.Lock()
+	if len(st.events) > 0 {
+		snap.Events = make(map[string]int64, len(st.events))
+		for k, v := range st.events {
+			snap.Events[k] = v
+		}
+	}
+	st.eventMu.Unlock()
+	return snap
+}

@@ -27,7 +27,10 @@ type DiscussionRow struct {
 // uses ResNet-50): Spotlight-Opt against the three hand-designed
 // accelerators, all under the layerwise software optimizer.
 func Discussion(cfg Config, modelName string) ([]DiscussionRow, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
 	m, err := workload.ByName(modelName)
 	if err != nil {
 		return nil, err

@@ -21,8 +21,8 @@ import (
 	"math/rand"
 
 	"spotlight/internal/core"
+	"spotlight/internal/eval"
 	"spotlight/internal/hw"
-	"spotlight/internal/maestro"
 	"spotlight/internal/pool"
 	"spotlight/internal/stats"
 	"spotlight/internal/workload"
@@ -39,8 +39,14 @@ type Config struct {
 	SWSamples int
 	Trials    int
 	Seed      int64
-	Models    []string       // model names; empty means all five
-	Eval      core.Evaluator // cost model backend; nil means the primary model
+	Models    []string // model names; empty means all five
+	// EvalSpec selects the cost-model pipeline as an eval.FromSpec
+	// string, e.g. "maestro", "sim,cache,guard". Used only when Eval is
+	// nil; empty means the primary analytical model. The built pipeline
+	// is shared by every trial and figure run under this Config, so its
+	// memo cache deduplicates across trials.
+	EvalSpec string
+	Eval     core.Evaluator // cost model backend; nil means EvalSpec (or the primary model)
 	// Parallel runs independent trials concurrently. Results are
 	// identical either way (each trial owns its seed); only wall-clock
 	// changes. The artifact appendix notes the paper's own runs were
@@ -69,8 +75,10 @@ func Paper() Config {
 	return c
 }
 
-// normalized fills defaults.
-func (c Config) normalized() Config {
+// normalized fills defaults and builds the evaluation pipeline from
+// EvalSpec when no evaluator was supplied directly. It errors on a
+// malformed spec (unknown backend or middleware token).
+func (c Config) normalized() (Config, error) {
 	if c.Scale == "" {
 		c.Scale = "edge"
 	}
@@ -84,9 +92,17 @@ func (c Config) normalized() Config {
 		c.Trials = 3
 	}
 	if c.Eval == nil {
-		c.Eval = maestro.New()
+		spec := c.EvalSpec
+		if spec == "" {
+			spec = "maestro"
+		}
+		p, err := eval.FromSpec(spec, eval.SpecOptions{EnsureStats: true})
+		if err != nil {
+			return c, err
+		}
+		c.Eval = p
 	}
-	return c
+	return c, nil
 }
 
 // models resolves the configured model list.

@@ -25,14 +25,24 @@ func tinyCfg() Config {
 }
 
 func TestConfigNormalization(t *testing.T) {
-	c := Config{}.normalized()
+	c, err := Config{}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Scale != "edge" || c.HWSamples <= 0 || c.SWSamples <= 0 || c.Trials <= 0 || c.Eval == nil {
 		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if _, err := (Config{EvalSpec: "no-such-backend"}).normalized(); err == nil {
+		t.Fatal("unknown EvalSpec backend accepted")
 	}
 }
 
 func TestConfigModels(t *testing.T) {
-	ms, err := Config{}.normalized().models()
+	cfg, err := Config{}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := cfg.models()
 	if err != nil || len(ms) != 5 {
 		t.Fatalf("default models = %d, err %v", len(ms), err)
 	}
@@ -478,7 +488,10 @@ func (f faultyTrialStrategy) NewHW(cfg core.RunConfig, rng *rand.Rand) core.HWPr
 // TestChaosFailedTrialDoesNotAbortFigure: one crashed trial must cost
 // one trial's worth of statistics, not the whole figure.
 func TestChaosFailedTrialDoesNotAbortFigure(t *testing.T) {
-	cfg := tinyCfg().normalized()
+	cfg, err := tinyCfg().normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
 	badSeed := cfg.Seed + 0*7919 // trial 0's seed
 	strat := faultyTrialStrategy{Strategy: core.NewSpotlight(), badSeed: badSeed}
 

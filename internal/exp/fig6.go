@@ -16,7 +16,10 @@ import (
 //
 // One Row per (model, configuration); error bars are min/max of trials.
 func Fig6(cfg Config) ([]Row, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
 	models, err := cfg.models()
 	if err != nil {
 		return nil, err

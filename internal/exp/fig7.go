@@ -20,10 +20,12 @@ type Fig7Result struct {
 // experiments is the parameter ranges — the feature space and BO
 // configuration are untouched.
 func Fig7(cfg Config) (Fig7Result, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return Fig7Result{}, err
+	}
 	cfg.Scale = "cloud"
 	var out Fig7Result
-	var err error
 	cfg.Objective = core.MinEDP
 	if out.EDP, err = fig7Half(cfg); err != nil {
 		return out, err

@@ -24,9 +24,11 @@ var generalDesignModels = []string{"VGG16", "ResNet-50", "MobileNetV2"}
 
 // Fig8 reproduces Figure 8.
 func Fig8(cfg Config) (Fig8Result, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return Fig8Result{}, err
+	}
 	var out Fig8Result
-	var err error
 	cfg.Objective = core.MinEDP
 	if out.EDP, err = fig8Half(cfg); err != nil {
 		return out, err

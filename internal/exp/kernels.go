@@ -20,7 +20,10 @@ type KernelSearchResult struct {
 // with the linear and the Matérn-5/2 kernels, over cfg.Trials trials
 // each.
 func KernelSearchComparison(cfg Config, modelName string) ([]KernelSearchResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
 	m, err := workload.ByName(modelName)
 	if err != nil {
 		return nil, err

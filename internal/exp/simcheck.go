@@ -25,7 +25,10 @@ type SimCheckResult struct {
 
 // SimCheck runs the validation on random schedules of a small layer.
 func SimCheck(cfg Config, samples int) (SimCheckResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return SimCheckResult{}, err
+	}
 	if samples <= 0 {
 		samples = 60
 	}

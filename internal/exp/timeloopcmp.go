@@ -1,11 +1,9 @@
 package exp
 
 import (
-	"spotlight/internal/core"
-	"spotlight/internal/maestro"
+	"spotlight/internal/eval"
 	"spotlight/internal/sched"
 	"spotlight/internal/stats"
-	"spotlight/internal/timeloop"
 	"spotlight/internal/workload"
 )
 
@@ -24,7 +22,10 @@ type CrossModelResult struct {
 
 // CrossModelAgreement runs the §VII-F experiment for one DL model.
 func CrossModelAgreement(cfg Config, modelName string, samplesPerLayer int) (CrossModelResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return CrossModelResult{}, err
+	}
 	if samplesPerLayer < 20 {
 		samplesPerLayer = 20
 	}
@@ -37,8 +38,16 @@ func CrossModelAgreement(cfg Config, modelName string, samplesPerLayer int) (Cro
 		return CrossModelResult{}, err
 	}
 
-	primary := maestro.New()
-	second := timeloop.New()
+	// Both models come from the backend registry, so this comparison
+	// exercises the same constructors every other consumer uses.
+	primary, err := eval.Open("maestro")
+	if err != nil {
+		return CrossModelResult{}, err
+	}
+	second, err := eval.Open("timeloop")
+	if err != nil {
+		return CrossModelResult{}, err
+	}
 	free := sched.Free()
 	rng := cfg.rngFor(17)
 
@@ -76,9 +85,3 @@ func CrossModelAgreement(cfg Config, modelName string, samplesPerLayer int) (Cro
 	}
 	return res, nil
 }
-
-// compile-time check that both backends satisfy the evaluator contract.
-var (
-	_ core.Evaluator = (*maestro.Model)(nil)
-	_ core.Evaluator = (*timeloop.Model)(nil)
-)

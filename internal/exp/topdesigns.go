@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"spotlight/internal/core"
+	"spotlight/internal/eval"
 	"spotlight/internal/stats"
-	"spotlight/internal/timeloop"
 	"spotlight/internal/workload"
 )
 
@@ -40,7 +40,10 @@ type TopDesignResult struct {
 // the primary model, so re-tuning, not re-costing, is the meaningful
 // comparison).
 func TopDesignCrossCheck(cfg Config, modelName string) (TopDesignResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return TopDesignResult{}, err
+	}
 	m, err := workload.ByName(modelName)
 	if err != nil {
 		return TopDesignResult{}, err
@@ -55,9 +58,14 @@ func TopDesignCrossCheck(cfg Config, modelName string) (TopDesignResult, error) 
 	}
 
 	// Port each top design: same hardware, schedules re-optimized under
-	// the second model.
+	// the second model — with a memo cache, because the ports re-cost
+	// heavily overlapping schedule sets across the top designs.
 	portCfg := rc
-	portCfg.Eval = timeloop.New()
+	portPipe, err := eval.FromSpec("timeloop,cache", eval.SpecOptions{})
+	if err != nil {
+		return TopDesignResult{}, err
+	}
+	portCfg.Eval = portPipe
 	out := TopDesignResult{Model: m.Name}
 	var primaryVals, secondaryVals []float64
 	bestSecondary := math.Inf(1)

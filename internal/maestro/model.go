@@ -100,11 +100,16 @@ func (c Cost) ThroughputPerJoule(macs int64) float64 {
 // region" from programming errors.
 var ErrInvalid = errors.New("maestro: invalid configuration")
 
+// EDRAMPerByte is the off-chip access energy coefficient (pJ per byte at
+// 8-bit precision, 1 GHz). It is exported because the hybrid trace-driven
+// backend (internal/sim) re-derives energy from simulated DRAM traffic
+// and must price that traffic identically to the analytical model.
+const EDRAMPerByte = 200.0
+
 // Energy and bandwidth coefficients (pJ per byte / per MAC at 8-bit
 // precision, 1 GHz). Relative magnitudes follow the usual storage
 // hierarchy: DRAM ≫ scratchpad ≫ register file ≈ MAC.
 const (
-	eDRAMPerByte  = 200.0
 	eL2BasePJ     = 6.0 // at the 128 KB reference size, scaled by sqrt
 	eRFPerByte    = 1.0
 	eMACPerOp     = 0.2
@@ -261,7 +266,7 @@ func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, 
 	eNoC := eNoCBase + eNoCPerColumn*float64(w)
 
 	energyPJ := macs*eMACPerOp +
-		dramBytes*eDRAMPerByte +
+		dramBytes*EDRAMPerByte +
 		l2AccessBytes*eL2 +
 		nocBytes*eNoC +
 		rfAccessBytes*eRFPerByte +

@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"spotlight/internal/core"
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
 	"spotlight/internal/sched"
@@ -29,7 +28,7 @@ import (
 // only if the inner evaluation succeeded — NaN, then ±Inf corruption.
 type ChaosEvaluator struct {
 	// Inner is the evaluator being sabotaged.
-	Inner core.Evaluator
+	Inner Evaluator
 	// Seed selects the fault schedule; two ChaosEvaluators with equal
 	// seeds and rates inject identical faults on identical call streams.
 	Seed int64
@@ -83,7 +82,7 @@ func (c *ChaosEvaluator) Counts() InjectionCounts {
 	}
 }
 
-// Name implements core.Evaluator.
+// Name implements Evaluator.
 func (c *ChaosEvaluator) Name() string { return "chaos(" + c.Inner.Name() + ")" }
 
 // nextAttempt returns this point's 0-based call number and advances it.
@@ -98,7 +97,7 @@ func (c *ChaosEvaluator) nextAttempt(h uint64) uint64 {
 	return n
 }
 
-// Evaluate implements core.Evaluator with fault injection.
+// Evaluate implements Evaluator with fault injection.
 func (c *ChaosEvaluator) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	c.calls.Add(1)
 	h := hashPoint(a, s, l)

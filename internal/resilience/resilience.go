@@ -1,7 +1,7 @@
 // Package resilience hardens cost-model backends against the failure
 // modes the paper's ecosystem exhibits in the wild: external evaluators
 // that crash, hang, or return garbage (§II notes Hypermapper "often
-// failed to terminate at all"). It provides two core.Evaluator wrappers:
+// failed to terminate at all"). It provides two evaluator wrappers:
 //
 //   - Guard converts evaluator panics to errors, bounds each call with a
 //     timeout, and retries errors classified transient with seeded
@@ -25,12 +25,21 @@ import (
 	"fmt"
 	"time"
 
-	"spotlight/internal/core"
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
 	"spotlight/internal/sched"
 	"spotlight/internal/workload"
 )
+
+// Evaluator is the cost-model contract this package wraps. It is
+// structurally identical to core.Evaluator (and to eval's backend
+// contract), declared locally so resilience sits below both in the
+// import graph: internal/eval composes Guard into pipelines without a
+// cycle, and core never needs to know resilience exists.
+type Evaluator interface {
+	Evaluate(hw.Accel, sched.Schedule, workload.Layer) (maestro.Cost, error)
+	Name() string
+}
 
 // ErrPanic wraps a panic recovered from an evaluator call.
 var ErrPanic = errors.New("resilience: evaluator panicked")
@@ -53,7 +62,7 @@ var ErrTimeout = fmt.Errorf("resilience: evaluator call timed out: %w", context.
 // shared RNG, so worker interleaving cannot perturb it).
 type Guard struct {
 	// Eval is the wrapped evaluator.
-	Eval core.Evaluator
+	Eval Evaluator
 	// Timeout bounds one underlying Evaluate call; 0 disables. The
 	// Evaluator interface has no cancellation hook, so a call that
 	// exceeds the timeout is abandoned: its goroutine runs to completion
@@ -74,10 +83,10 @@ type Guard struct {
 	IsTransient func(error) bool
 }
 
-// Name implements core.Evaluator.
+// Name implements Evaluator.
 func (g *Guard) Name() string { return "guard(" + g.Eval.Name() + ")" }
 
-// Evaluate implements core.Evaluator with the guard policy applied.
+// Evaluate implements Evaluator with the guard policy applied.
 func (g *Guard) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	transient := g.IsTransient
 	if transient == nil {

@@ -2,13 +2,29 @@ package sim
 
 import (
 	"math"
-	"sync/atomic"
 
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
 	"spotlight/internal/sched"
 	"spotlight/internal/workload"
 )
+
+// Backend event names reported to the EventSink: which of the two
+// evaluation paths a call took.
+const (
+	EventSimulated = "simulated" // trace-driven DRAM simulation replaced the analytical traffic
+	EventFallback  = "fallback"  // nest too large; analytical estimate kept
+)
+
+// EventSink receives named backend events. The evaluation pipeline's
+// stats middleware (internal/eval) implements it, so path counters live
+// with the rest of the per-backend statistics instead of inside the
+// backend; a nil sink drops the events. Implementations must be safe for
+// concurrent use — Evaluate may be called from several layer workers at
+// once (core.RunConfig.Workers).
+type EventSink interface {
+	Event(name string)
+}
 
 // Backend is a hybrid cost-model backend in the spirit of the paper's
 // §VIII future-work direction ("more costly but more accurate evaluation
@@ -17,7 +33,7 @@ import (
 // analytical DRAM traffic with the trace-driven LRU-cache simulation and
 // re-derives delay, energy, and the dependent metrics. Schedules whose
 // nests are too large to simulate fall back to the analytical estimate,
-// so the backend is usable as a drop-in core.Evaluator.
+// so the backend is usable as a drop-in evaluator.
 //
 // Energy re-derivation uses the same coefficients as the analytical
 // model, so differences reflect only the more accurate traffic.
@@ -25,16 +41,11 @@ type Backend struct {
 	analytical *maestro.Model
 	opts       Options
 
-	// Evaluation counters are atomic because the core driver may call
-	// Evaluate from several layer workers at once (RunConfig.Workers).
-	simulated atomic.Int64
-	fallback  atomic.Int64
-}
-
-// Counts reports how many evaluations used the trace simulator and how
-// many fell back to the analytical estimate, for tests and reporting.
-func (b *Backend) Counts() (simulated, fallback int) {
-	return int(b.simulated.Load()), int(b.fallback.Load())
+	// Events, when non-nil, is told which path each evaluation took
+	// (EventSimulated or EventFallback). Set it before the first
+	// Evaluate call; the pipeline builder wires it to the stats
+	// middleware.
+	Events EventSink
 }
 
 // NewBackend returns a hybrid backend with the given simulation bounds
@@ -43,13 +54,17 @@ func NewBackend(opts Options) *Backend {
 	return &Backend{analytical: maestro.New(), opts: opts}
 }
 
-// Name implements core.Evaluator.
+// Name implements the evaluator contract.
 func (*Backend) Name() string { return "sim-hybrid" }
 
-// Energy coefficient shared with the analytical model's DRAM term.
-const eDRAMPerByte = 200.0
+// event reports one path decision to the sink, if any.
+func (b *Backend) event(name string) {
+	if b.Events != nil {
+		b.Events.Event(name)
+	}
+}
 
-// Evaluate implements core.Evaluator.
+// Evaluate implements the evaluator contract.
 func (b *Backend) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	cost, err := b.analytical.Evaluate(a, s, l)
 	if err != nil {
@@ -59,10 +74,10 @@ func (b *Backend) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maes
 	if err != nil {
 		// Nest too large (or working set edge case): keep the analytical
 		// numbers.
-		b.fallback.Add(1)
+		b.event(EventFallback)
 		return cost, nil
 	}
-	b.simulated.Add(1)
+	b.event(EventSimulated)
 
 	// Swap in the simulated DRAM traffic and re-derive the dependents.
 	oldDRAM := cost.DRAMBytes
@@ -75,9 +90,11 @@ func (b *Backend) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maes
 	cost.DelayCycles = math.Max(cost.ComputeCycles, math.Max(cost.DRAMCycles, cost.NoCCycles)) + ramp
 
 	// Energy: remove the analytical DRAM + L2-fill term, add the
-	// simulated one (L2 accesses include one write per DRAM byte).
+	// simulated one (L2 accesses include one write per DRAM byte). The
+	// DRAM coefficient is the analytical model's, so the only difference
+	// between the two paths is the traffic itself.
 	eL2 := 6.0 * math.Sqrt(float64(a.L2KB)/128)
-	cost.EnergyNJ += (newDRAM - oldDRAM) * (eDRAMPerByte + eL2) / 1000
+	cost.EnergyNJ += (newDRAM - oldDRAM) * (maestro.EDRAMPerByte + eL2) / 1000
 	cost.L2Bytes += newDRAM - oldDRAM
 	cost.PowerMW = cost.EnergyNJ * 1000 / cost.DelayCycles
 	// Utilization is time-averaged over the run; rescale to the new delay.

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"spotlight/internal/core"
@@ -14,15 +15,39 @@ import (
 // Compile-time: the hybrid backend is a drop-in cost model.
 var _ core.Evaluator = (*Backend)(nil)
 
+// recordingSink counts backend events, standing in for the pipeline's
+// stats middleware.
+type recordingSink struct {
+	mu     sync.Mutex
+	events map[string]int
+}
+
+func (r *recordingSink) Event(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.events == nil {
+		r.events = make(map[string]int)
+	}
+	r.events[name]++
+}
+
+func (r *recordingSink) count(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events[name]
+}
+
 func TestBackendSimulatesSmallNests(t *testing.T) {
 	b := NewBackend(Options{})
+	sink := &recordingSink{}
+	b.Events = sink
 	a := testAccel()
 	l := testLayer()
 	c, err := b.Evaluate(a, smallSchedule(l), l)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sim, fb := b.Counts(); sim != 1 || fb != 0 {
+	if sim, fb := sink.count(EventSimulated), sink.count(EventFallback); sim != 1 || fb != 0 {
 		t.Fatalf("expected one simulated evaluation, got sim=%d fb=%d", sim, fb)
 	}
 	if c.DelayCycles <= 0 || c.EnergyNJ <= 0 {
@@ -47,6 +72,8 @@ func TestBackendSimulatesSmallNests(t *testing.T) {
 
 func TestBackendFallsBackOnHugeNests(t *testing.T) {
 	b := NewBackend(Options{MaxIterations: 4})
+	sink := &recordingSink{}
+	b.Events = sink
 	a := testAccel()
 	l := testLayer()
 	s := smallSchedule(l) // 16 iterations > bound 4
@@ -54,7 +81,7 @@ func TestBackendFallsBackOnHugeNests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sim, fb := b.Counts(); fb != 1 || sim != 0 {
+	if sim, fb := sink.count(EventSimulated), sink.count(EventFallback); fb != 1 || sim != 0 {
 		t.Fatalf("expected fallback, got sim=%d fb=%d", sim, fb)
 	}
 	analytic, err := maestro.New().Evaluate(a, s, l)
