@@ -1,0 +1,34 @@
+# Targets mirror .github/workflows/ci.yml one-for-one so a green
+# `make ci` locally means a green CI run. Keep the two in sync: if you
+# change a recipe here, change the matching workflow step.
+
+GO ?= go
+
+.PHONY: all build test lint vet fmt race chaos ci
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint is the blocking CI gate: vet, gofmt, then the repo's own
+# spotlightlint analyzers (determinism & hygiene invariants).
+lint: vet fmt
+	$(GO) run ./cmd/lint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+race:
+	$(GO) test -race -count=1 ./...
+
+chaos:
+	$(GO) test -race -run 'Chaos|Checkpoint|Cancel' -count=2 ./...
+
+ci: lint build test race chaos

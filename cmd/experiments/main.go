@@ -15,7 +15,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -225,16 +224,10 @@ func (r *runner) fig9() error {
 	if err != nil {
 		return err
 	}
-	header := append([]string{"model"}, res.Features...)
-	var rows [][]string
-	for model, imp := range res.Importance {
-		row := []string{model}
-		for _, v := range imp {
-			row = append(row, strconv.FormatFloat(v, 'g', 4, 64))
-		}
-		rows = append(rows, row)
-		fmt.Printf("   %-12s top feature: %s\n", model, topFeature(res.Features, imp))
+	for _, model := range exp.SortedKeys(res.Importance) {
+		fmt.Printf("   %-12s top feature: %s\n", model, topFeature(res.Features, res.Importance[model]))
 	}
+	header, rows := exp.Fig9Rows(res)
 	return r.writeCSV("fig9.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
 }
 
@@ -247,31 +240,18 @@ func (r *runner) runFig10() error {
 			return err
 		}
 		r.fig10 = curves
-		for model, cs := range curves {
-			for _, stat := range exp.EfficiencyStats(cs) {
+		for _, model := range exp.SortedKeys(curves) {
+			for _, stat := range exp.EfficiencyStats(curves[model]) {
 				fmt.Printf("   %-12s %-13s %4d samples, %.0f%% feasible, %.1f%% beat random's best\n",
 					model, stat.Tool, stat.Samples, 100*stat.FeasibleFraction, 100*stat.BeatsRandomBest)
 			}
-		}
-		header := []string{"model", "tool", "trial", "sample", "elapsed_s", "value", "best_so_far"}
-		var rows [][]string
-		for model, cs := range curves {
-			for _, c := range cs {
+			for _, c := range curves[model] {
 				sum := c.FinalSummary()
 				fmt.Printf("   %-12s %-13s final best: min=%.4g median=%.4g max=%.4g\n",
 					model, c.Tool, sum.Min, sum.Median, sum.Max)
-				for t, trial := range c.Trials {
-					for _, h := range trial {
-						rows = append(rows, []string{
-							model, c.Tool, strconv.Itoa(t), strconv.Itoa(h.Sample),
-							strconv.FormatFloat(h.Elapsed.Seconds(), 'g', 6, 64),
-							formatValue(h.Value),
-							formatValue(h.BestSoFar),
-						})
-					}
-				}
 			}
 		}
+		header, rows := exp.Fig10Rows(curves)
 		return r.writeCSV("fig10.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
 	}
 }
@@ -288,23 +268,7 @@ func (r *runner) runFig11() error {
 			r.fig10 = curves
 		}
 		cdfs := exp.Fig11(r.fig10)
-		header := []string{"model", "tool", "trial", "percentile", "value"}
-		var rows [][]string
-		for model, series := range cdfs {
-			for _, s := range series {
-				for t, cdf := range s.Trials {
-					if cdf.Len() == 0 {
-						continue
-					}
-					for p := 5; p <= 100; p += 5 {
-						rows = append(rows, []string{
-							model, s.Tool, strconv.Itoa(t), strconv.Itoa(p),
-							strconv.FormatFloat(cdf.InverseAt(float64(p)/100), 'g', 6, 64),
-						})
-					}
-				}
-			}
-		}
+		header, rows := exp.Fig11Rows(cdfs)
 		return r.writeCSV("fig11.csv", func(f *os.File) error { return exp.WriteTable(f, header, rows) })
 	}
 }
@@ -464,11 +428,4 @@ func topFeature(names []string, imp []float64) string {
 		return names[best]
 	}
 	return "?"
-}
-
-func formatValue(v float64) string {
-	if math.IsInf(v, 1) {
-		return "inf"
-	}
-	return strconv.FormatFloat(v, 'g', 6, 64)
 }

@@ -1,0 +1,69 @@
+// Command lint is the spotlightlint multichecker: it type-checks the
+// requested packages and runs every determinism/hygiene analyzer over
+// them, printing findings as file:line:col: [analyzer] message.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...          # whole module (what CI runs)
+//	go run ./cmd/lint ./internal/eval ./internal/core
+//	go run ./cmd/lint -list          # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type errors. The
+// checks and their rationale are documented in
+// internal/analysis/spotlightlint and DESIGN.md §9; individual lines are
+// suppressed with //lint:allow token(reason) annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spotlight/internal/analysis/lintkit"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lint [-list] [packages]\n\npackages default to ./...; patterns are import paths or ./dir paths, with /... wildcards\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := spotlightlint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lintkit.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	findings, err := lintkit.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -47,7 +48,7 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "random seed")
 		strategy   = flag.String("strategy", "spotlight", "search strategy: spotlight, spotlight-v, spotlight-a, spotlight-f, random, ga, confuciux, hasco")
 		evalSpec   = flag.String("eval", "", "evaluation pipeline spec: backend[,middleware...], e.g. \"maestro\", \"sim,cache,guard\" (backends: "+strings.Join(eval.Backends(), ", ")+"; middlewares: cache, guard, stats)")
-		backend    = flag.String("backend", "", "deprecated: backend name only; use -eval (kept as an alias)")
+		backend    = flag.String("backend", "", "deprecated alias for -eval with a bare backend name; prefer -eval \"name[,middleware...]\"")
 		evalStats  = flag.Bool("eval-stats", false, "print per-backend evaluation and cache statistics after the run")
 		historyCSV = flag.String("history", "", "write the per-sample convergence history to this CSV file")
 		jsonOut    = flag.String("json", "", "write the winning design (accelerator + schedules) to this JSON file")
@@ -257,8 +258,8 @@ func report(res core.Result, obj core.Objective, verbose bool) {
 	fmt.Printf("accel:     %s\n", res.Best.Accel)
 	fmt.Printf("area:      %.2f mm²   peak power: %.1f mW\n",
 		res.Best.Accel.AreaMM2(), res.Best.Accel.PeakPowerMW())
-	for model, v := range core.ModelObjectives(obj, res.Best) {
-		fmt.Printf("  %-14s %s = %.6g\n", model, obj, v)
+	for _, line := range modelObjectiveLines(obj, res.Best) {
+		fmt.Print(line)
 	}
 	if !verbose {
 		return
@@ -269,6 +270,25 @@ func report(res core.Result, obj core.Objective, verbose bool) {
 			lr.Model, lr.Layer.Name, lr.Cost.DelayCycles, lr.Cost.EnergyNJ, lr.Cost.Utilization)
 		fmt.Printf("             %s\n", lr.Schedule)
 	}
+}
+
+// modelObjectiveLines renders the per-model objective breakdown in
+// model-name order. core.ModelObjectives returns a map, and ranging over
+// it directly (as report once did) printed multi-model runs in a
+// different order every invocation — breaking the byte-identical-stdout
+// determinism contract the verify flows diff against.
+func modelObjectiveLines(obj core.Objective, d core.Design) []string {
+	objs := core.ModelObjectives(obj, d)
+	models := make([]string, 0, len(objs))
+	for m := range objs {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	lines := make([]string, 0, len(models))
+	for _, m := range models {
+		lines = append(lines, fmt.Sprintf("  %-14s %s = %.6g\n", m, obj, objs[m]))
+	}
+	return lines
 }
 
 // reevaluateDesign loads a previously exported design and re-costs its
@@ -320,7 +340,7 @@ func reevaluateDesign(path string, ev core.Evaluator, obj core.Objective, models
 			le.Layer, c.DelayCycles, le.DelayCycles, c.EnergyNJ)
 	}
 	if infeasible > 0 {
-		fmt.Printf("%d layers infeasible on this backend — re-tune with -strategy spotlight -backend %s\n",
+		fmt.Printf("%d layers infeasible on this backend — re-tune with -strategy spotlight -eval %s\n",
 			infeasible, ev.Name())
 		return nil
 	}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"spotlight/internal/core"
+	"spotlight/internal/maestro"
+	"spotlight/internal/workload"
+)
+
+// modelObjectiveLines replaced a direct range over core.ModelObjectives'
+// map, which printed multi-model breakdowns in a random order per run.
+// With seven models, 50 consecutive identical orderings cannot happen by
+// accident under map iteration, so this pins the fix.
+func TestModelObjectiveLinesDeterministicAndSorted(t *testing.T) {
+	d := core.Design{}
+	for i, m := range []string{"VGG16", "ResNet-50", "MobileNetV2", "MnasNet", "Transformer", "AlphaGoZero", "NCF"} {
+		d.Layers = append(d.Layers, core.LayerResult{
+			Model: m,
+			Layer: workload.Layer{Name: "l0", Repeat: 1},
+			Cost:  maestro.Cost{DelayCycles: float64(100 + i), EnergyNJ: float64(10 + i)},
+		})
+	}
+	first := modelObjectiveLines(core.MinDelay, d)
+	if len(first) != 7 {
+		t.Fatalf("got %d lines, want 7", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		a := strings.Fields(first[i-1])[0]
+		b := strings.Fields(first[i])[0]
+		if a >= b {
+			t.Fatalf("lines not model-sorted: %q before %q", a, b)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if again := modelObjectiveLines(core.MinDelay, d); !reflect.DeepEqual(first, again) {
+			t.Fatalf("iteration %d produced different line order:\n%v\nvs\n%v", i, first, again)
+		}
+	}
+}

@@ -46,7 +46,7 @@ func main() {
 			continue
 		}
 		checked++
-		match := single.DRAMBytes() == cost.DRAMBytes
+		match := single.DRAMBytes() == cost.DRAMBytes //lint:allow floateq(demonstrates bit-exact analytical-vs-simulated agreement; exactness is the point)
 		if match {
 			matches++
 		}

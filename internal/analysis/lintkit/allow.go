@@ -1,0 +1,67 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRx matches one annotation inside a //lint:allow comment:
+// token(reason). The reason is mandatory — an empty pair of parentheses
+// does not suppress anything, so every exception in the tree documents
+// why it is one.
+var allowRx = regexp.MustCompile(`([a-zA-Z][a-zA-Z0-9_-]*)\(([^)]+)\)`)
+
+// allowSet records, per file and line, which analyzer tokens are allowed
+// there. A diagnostic is suppressed when its own line or the line
+// directly above carries a matching annotation, mirroring how
+// //nolint-style directives are conventionally written (inline or as a
+// leading comment).
+type allowSet map[string]map[int][]string
+
+// collectAllows scans every comment in the files for //lint:allow
+// annotations.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range allowRx.FindAllStringSubmatch(text, -1) {
+					if strings.TrimSpace(m[2]) == "" {
+						continue
+					}
+					lines := set[pos.Filename]
+					if lines == nil {
+						lines = map[int][]string{}
+						set[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], m[1])
+				}
+			}
+		}
+	}
+	return set
+}
+
+// allowed reports whether token is annotated at pos (same line or the
+// line above).
+func (s allowSet) allowed(token string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, t := range lines[line] {
+			if t == token {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func f() {
+	a() //lint:allow wallclock(timing is observability only)
+	//lint:allow maporder(order-insensitive sink) floateq(exact sentinel)
+	b()
+	c() //lint:allow nowallclock()
+}
+`
+
+func TestCollectAllows(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := collectAllows(fset, []*ast.File{f})
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+
+	if !set.allowed("wallclock", at(4)) {
+		t.Error("inline allow on line 4 not honoured")
+	}
+	if !set.allowed("maporder", at(6)) {
+		t.Error("preceding-line allow not honoured for maporder")
+	}
+	if !set.allowed("floateq", at(6)) {
+		t.Error("second token of a multi-token allow not honoured")
+	}
+	if set.allowed("wallclock", at(6)) {
+		t.Error("allow must be token-specific: wallclock not annotated at line 6")
+	}
+	if set.allowed("nowallclock", at(7)) {
+		t.Error("reasonless allow must be inert")
+	}
+	if set.allowed("wallclock", at(4+10)) {
+		t.Error("allow must not leak to unrelated lines")
+	}
+	if set.allowed("wallclock", token.Position{Filename: "q.go", Line: 4}) {
+		t.Error("allow must not leak across files")
+	}
+}

@@ -1,0 +1,162 @@
+// Package lintkit is a small, dependency-free analysis framework shaped
+// after golang.org/x/tools/go/analysis. The repo builds offline from the
+// standard library alone, so instead of importing the x/tools multichecker
+// it re-creates the three pieces spotlightlint needs: an Analyzer/Pass
+// contract, a module-aware package loader built on go/parser + go/types,
+// and an annotation-driven suppression mechanism
+// (//lint:allow token(reason)) checked by the driver rather than by each
+// analyzer.
+//
+// The deliberate differences from x/tools are:
+//
+//   - Only non-test files are loaded and analyzed. The invariants
+//     spotlightlint enforces (no wall clock, no map-order dependence,
+//     single Guard construction site, ...) are production-code
+//     invariants; tests routinely time things and compare floats.
+//   - Suppression is centralized: analyzers just Reportf, and the driver
+//     drops diagnostics whose line (or the line above) carries a
+//     //lint:allow annotation for that analyzer's token. Every allow
+//     must name a reason — a bare //lint:allow wallclock() suppresses
+//     nothing.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in output ("nowallclock").
+	Name string
+	// AllowToken is the token accepted in //lint:allow token(reason)
+	// annotations; empty means Name. nowallclock uses "wallclock" so the
+	// annotation reads as the thing being allowed, not the checker name.
+	AllowToken string
+	// Doc is the one-paragraph human description.
+	Doc string
+	// Run reports diagnostics for one package through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Token returns the annotation token this analyzer honours.
+func (a *Analyzer) Token() string {
+	if a.AllowToken != "" {
+		return a.AllowToken
+	}
+	return a.Name
+}
+
+// Pass carries one package's syntax and types to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a diagnostic resolved to a position, as the driver returns
+// it after allow-filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by file, line, column, then analyzer name — a stable
+// order whatever the package load order was.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if allows.allowed(a.Token(), pos) {
+					continue
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// WalkStack is ast.Inspect with an enclosing-node stack: fn sees each
+// node along with its ancestors, innermost last. Analyzers use it where
+// a finding's meaning depends on context (what an expression is assigned
+// to, which function it sits in). Returning false skips the subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// ast.Inspect will not descend, so it will not send the
+			// matching nil; pop now.
+			stack = stack[:len(stack)-1]
+		}
+		return keep
+	})
+}
+
+// EnclosingFunc returns the innermost function declaration or literal on
+// the stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Package linttest runs lintkit analyzers against fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixtures
+// live under testdata/src/<import-path>/, and every line expected to be
+// reported carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several per line allowed). The runner fails the test for any
+// diagnostic without a matching want, and for any want without a
+// matching diagnostic — so fixtures prove both that violations are
+// caught and that clean or //lint:allow-annotated code stays silent.
+// Diagnostics are matched after lintkit's allow-filtering, which is what
+// lets fixtures exercise the escape hatch.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// wantRx extracts the quoted patterns of one want comment.
+var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's filtered diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *lintkit.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := lintkit.NewFixtureLoader("", filepath.Join(testdata, "src"))
+	pkgs, err := loader.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := lintkit.Run(pkgs, []*lintkit.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg.Fset, f)...)
+		}
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none",
+				a.Name, w.raw, w.file, w.line)
+		}
+	}
+}
+
+// claim marks the first unmet expectation matching the finding.
+func claim(wants []*expectation, f lintkit.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the want comments of one file.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			matches := wantRx.FindAllStringSubmatch(rest, -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+			}
+			for _, m := range matches {
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: m[1]})
+			}
+		}
+	}
+	return out
+}

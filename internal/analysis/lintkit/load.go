@@ -1,0 +1,308 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string // import path ("spotlight/internal/eval")
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only, with comments
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages of one module without the go
+// toolchain's package driver: import paths under Module resolve to
+// directories under Root and are type-checked from source (each exactly
+// once, memoized); every other path falls through to the standard
+// library via go/importer's source importer. That is sufficient here
+// because the module is dependency-free — which the loader checks by
+// construction: a third-party import would fail to resolve.
+type Loader struct {
+	Module string // module path from go.mod; "" maps import paths to Root-relative dirs
+	Root   string // directory of the module (or fixture tree)
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+	errs map[string]error // import-cycle guard + error memo
+}
+
+// NewLoader returns a loader rooted at the module containing dir,
+// walking upward to find go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			module := modulePath(string(data))
+			if module == "" {
+				return nil, fmt.Errorf("lintkit: no module line in %s/go.mod", root)
+			}
+			return NewFixtureLoader(module, root), nil
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lintkit: no go.mod above %s", abs)
+		}
+		root = parent
+	}
+}
+
+// NewFixtureLoader returns a loader with an explicit module path and
+// root, used by linttest to treat a testdata/src tree as a module.
+func NewFixtureLoader(module, root string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Module: module,
+		Root:   root,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*Package{},
+		errs:   map[string]error{},
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// dirFor maps an import path to a directory under Root, or "" when the
+// path does not belong to the module.
+func (l *Loader) dirFor(path string) string {
+	switch {
+	case l.Module == "":
+		return filepath.Join(l.Root, filepath.FromSlash(path))
+	case path == l.Module:
+		return l.Root
+	default:
+		rel, ok := strings.CutPrefix(path, l.Module+"/")
+		if !ok {
+			return ""
+		}
+		return filepath.Join(l.Root, filepath.FromSlash(rel))
+	}
+}
+
+// Load resolves patterns to packages and type-checks them. A pattern is
+// an import path, a Root-relative directory ("./cmd/lint"), or either
+// with a trailing "/..." wildcard ("./..." being the whole module).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			rec = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		path := l.patternToImportPath(pat)
+		if !rec {
+			add(path)
+			continue
+		}
+		expanded, err := l.expand(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range expanded {
+			add(p)
+		}
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// patternToImportPath normalizes one non-wildcard pattern to an import
+// path.
+func (l *Loader) patternToImportPath(pat string) string {
+	pat = strings.TrimSuffix(pat, "/")
+	if pat == "." || pat == "" {
+		return l.Module
+	}
+	if rest, ok := strings.CutPrefix(pat, "./"); ok {
+		if l.Module == "" {
+			return rest
+		}
+		return l.Module + "/" + rest
+	}
+	return pat
+}
+
+// expand walks the directory tree under an import path collecting every
+// package directory (one containing at least one non-test .go file),
+// skipping testdata, hidden directories, and nested modules.
+func (l *Loader) expand(path string) ([]string, error) {
+	root := l.dirFor(path)
+	if root == "" {
+		return nil, fmt.Errorf("lintkit: cannot expand %q/... outside module %q", path, l.Module)
+	}
+	var out []string
+	err := filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if dir != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if dir != root {
+			if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		names, err := goFileNames(dir)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return err
+		}
+		switch {
+		case rel == ".":
+			out = append(out, l.Module)
+		case l.Module == "":
+			out = append(out, filepath.ToSlash(rel))
+		default:
+			out = append(out, l.Module+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// goFileNames lists the non-test .go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// load parses and type-checks one package (memoized).
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if err, ok := l.errs[path]; ok {
+		if err == nil {
+			return nil, fmt.Errorf("lintkit: import cycle through %q", path)
+		}
+		return nil, err
+	}
+	l.errs[path] = nil // in-progress marker: a re-entrant load is a cycle
+	pkg, err := l.loadUncached(path)
+	if err != nil {
+		l.errs[path] = err
+		return nil, err
+	}
+	delete(l.errs, path)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) loadUncached(path string) (*Package, error) {
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("lintkit: %q is outside module %q", path, l.Module)
+	}
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: %s: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lintkit: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		// A module-local path that resolves to a real package directory is
+		// loaded from source; anything else (the standard library) goes
+		// through the source importer.
+		if dir := l.dirFor(p); dir != "" {
+			if names, err := goFileNames(dir); err == nil && len(names) > 0 {
+				sub, err := l.load(p)
+				if err != nil {
+					return nil, err
+				}
+				return sub.Types, nil
+			}
+		}
+		return l.std.Import(p)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

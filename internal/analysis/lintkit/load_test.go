@@ -1,0 +1,60 @@
+package lintkit
+
+import "testing"
+
+func TestLoaderLoadsModulePackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Module != "spotlight" {
+		t.Fatalf("module = %q, want spotlight", l.Module)
+	}
+	pkgs, err := l.Load("spotlight/internal/linalg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+		t.Fatalf("package %s loaded without types or files", p.Path)
+	}
+	if p.Types.Name() != "linalg" {
+		t.Fatalf("package name = %q, want linalg", p.Types.Name())
+	}
+}
+
+func TestLoaderWildcardAndMemoization(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/analysis/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, want := range []string{
+		"spotlight/internal/analysis/lintkit",
+		"spotlight/internal/analysis/lintkit/linttest",
+		"spotlight/internal/analysis/spotlightlint",
+	} {
+		if byPath[want] == nil {
+			t.Errorf("wildcard load missing %s (got %d packages)", want, len(pkgs))
+		}
+	}
+	// A second Load of an already-loaded package must return the memoized
+	// *Package, not re-typecheck.
+	again, err := l.Load("spotlight/internal/analysis/lintkit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 1 || again[0] != byPath["spotlight/internal/analysis/lintkit"] {
+		t.Error("reloading a package did not return the memoized instance")
+	}
+}

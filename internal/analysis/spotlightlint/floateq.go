@@ -1,0 +1,92 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// FloatEq flags == and != between floating-point operands outside test
+// files. Exact float equality is almost always a latent bug here: costs
+// and objectives come out of iterative arithmetic where representation
+// noise makes "equal" trajectories compare unequal, and `x != x` NaN
+// probes belong behind math.IsNaN. The allowlist keeps the two idioms
+// that *are* exact: comparison against a literal zero (the IEEE value
+// every zero-initialized field holds bit-for-bit — the tree's "was this
+// set" sentinels) and constant-vs-constant comparisons, which the
+// compiler folds. Anything else that is genuinely intentional carries
+// //lint:allow floateq(reason).
+var FloatEq = &lintkit.Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on floating-point operands outside tests (allowlist: comparisons against literal 0)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			x, xok := pass.TypesInfo.Types[bin.X]
+			y, yok := pass.TypesInfo.Types[bin.Y]
+			if !xok || !yok || (!isFloat(x.Type) && !isFloat(y.Type)) {
+				return true
+			}
+			if x.Value != nil && y.Value != nil {
+				return true // constant folded at compile time
+			}
+			if isZeroConst(x) || isZeroConst(y) {
+				return true // exact sentinel comparison, allowlisted
+			}
+			hint := "compare with an explicit tolerance"
+			if sameOperand(pass, bin.X, bin.Y) {
+				hint = "use math.IsNaN"
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison: %s, or annotate //lint:allow floateq(reason)", bin.Op, hint)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a float or complex
+// basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZeroConst reports whether the operand is the constant 0.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil || tv.Value.Kind() == constant.Unknown {
+		return false
+	}
+	v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+	return ok && v == 0
+}
+
+// sameOperand detects the `x != x` / `x == x` NaN-probe shape: both
+// sides are the same identifier or selector chain.
+func sameOperand(pass *lintkit.Pass, a, b ast.Expr) bool {
+	ida, oka := a.(*ast.Ident)
+	idb, okb := b.(*ast.Ident)
+	if oka && okb {
+		ua, ub := pass.TypesInfo.Uses[ida], pass.TypesInfo.Uses[idb]
+		return ua != nil && ua == ub
+	}
+	sa, oka := a.(*ast.SelectorExpr)
+	sb, okb := b.(*ast.SelectorExpr)
+	if oka && okb && sa.Sel.Name == sb.Sel.Name {
+		return sameOperand(pass, sa.X, sb.X)
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestFloatEq proves exact float comparisons are flagged with the
+// tolerance hint, x != x probes get the math.IsNaN hint, comparisons
+// against literal zero and folded constants are allowlisted, integer
+// comparisons are ignored, and the escape hatch works.
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.FloatEq, "floatpkg")
+}

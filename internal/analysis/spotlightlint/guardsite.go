@@ -1,0 +1,87 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// GuardSite enforces the evaluation-pipeline invariant from the
+// composable-pipeline PR: resilience.Guard is constructed in exactly one
+// place, internal/eval's guard middleware (eval.WithGuard). Guards
+// assembled ad hoc bypass the pipeline's validation, double-wrap
+// evaluations (retrying retries), and fork the retry/backoff policy from
+// what the checkpoint fingerprint records. The resilience package itself
+// is also exempt — it owns the type.
+var GuardSite = &lintkit.Analyzer{
+	Name: "guardsite",
+	Doc:  "resilience.Guard may only be constructed inside internal/eval (compose \"guard\" into a pipeline spec instead)",
+	Run:  runGuardSite,
+}
+
+// guardConstructionAllowed lists the package paths that may build a
+// Guard: the middleware that owns the construction site, and the
+// defining package.
+func guardConstructionAllowed(path string) bool {
+	return strings.HasSuffix(path, "internal/eval") || strings.HasSuffix(path, "internal/resilience")
+}
+
+// isResilienceGuard reports whether t (possibly behind pointers) is the
+// resilience package's Guard type.
+func isResilienceGuard(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Guard" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/resilience")
+}
+
+func runGuardSite(pass *lintkit.Pass) error {
+	if guardConstructionAllowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isResilienceGuard(tv.Type) {
+					pass.Reportf(n.Pos(),
+						"resilience.Guard constructed outside internal/eval: put \"guard\" in the pipeline spec (eval.FromSpec) so the policy stays single-sourced")
+				}
+			case *ast.CallExpr:
+				if fun, ok := n.Fun.(*ast.Ident); ok && fun.Name == "new" && len(n.Args) == 1 {
+					if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+						if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok && isResilienceGuard(tv.Type) {
+							pass.Reportf(n.Pos(),
+								"resilience.Guard constructed outside internal/eval: put \"guard\" in the pipeline spec (eval.FromSpec) so the policy stays single-sourced")
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					if tv, ok := pass.TypesInfo.Types[n.Type]; ok && isResilienceGuard(tv.Type) {
+						if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+							pass.Reportf(n.Pos(),
+								"resilience.Guard zero value declared outside internal/eval: put \"guard\" in the pipeline spec (eval.FromSpec) so the policy stays single-sourced")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

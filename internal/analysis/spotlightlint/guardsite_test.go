@@ -1,0 +1,18 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestGuardSite proves every construction form of resilience.Guard is
+// flagged outside internal/eval (composite literal, new, zero-value
+// declaration), that nil pointer declarations and annotated sites pass,
+// and that the two sanctioned packages — internal/eval and the defining
+// internal/resilience — are exempt.
+func TestGuardSite(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.GuardSite,
+		"badpkg", "spotlight/internal/eval", "spotlight/internal/resilience")
+}

@@ -1,0 +1,18 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestMapOrder proves order-sensitive map iteration is flagged in an
+// output-sensitive package (appends, printing, hashing), the sanctioned
+// collect-keys-then-sort pattern and order-insensitive aggregation stay
+// silent, and packages outside the output-sensitive set (otherpkg) are
+// not analyzed.
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.MapOrder,
+		"spotlight/internal/core", "otherpkg")
+}

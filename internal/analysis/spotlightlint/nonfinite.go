@@ -1,0 +1,133 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// NonFinite flags math.NaN()/math.Inf(...) values flowing where the
+// pipeline's hygiene contract forbids raw non-finite data: into the
+// fields of maestro.Cost (an evaluator signals infeasibility with
+// ErrInvalid, never with NaN costs — DABO's fit and the memo cache rely
+// on that), and into checkpoint encode/decode paths (the checkpoint
+// format represents non-finite floats as quoted strings via the
+// jsonFloat hygiene type; open-coding math.NaN there bypasses it).
+// Initializing a best-so-far to +Inf, by contrast, is the tree's normal
+// idiom and is not flagged. The sanctioned helpers — jsonFloat's own
+// codec, chaos injection — annotate //lint:allow nonfinite(reason).
+var NonFinite = &lintkit.Analyzer{
+	Name: "nonfinite",
+	Doc:  "flag math.NaN/math.Inf flowing into Cost fields or checkpoint encoding outside the sanctioned hygiene helpers",
+	Run:  runNonFinite,
+}
+
+// codecFuncRx matches function names on the checkpoint serialization
+// path.
+var codecFuncRx = regexp.MustCompile(`(?i)marshal|unmarshal|encode|decode`)
+
+func runNonFinite(pass *lintkit.Pass) error {
+	if !isDeterministic(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		lintkit.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isNonFiniteCall(pass, call) {
+				return true
+			}
+			switch {
+			case assignsToCostField(pass, call, stack):
+				pass.Reportf(call.Pos(),
+					"non-finite value written into a maestro.Cost field: signal infeasibility with an error wrapping maestro.ErrInvalid instead (NaN costs poison surrogate fits and cache keys), or annotate //lint:allow nonfinite(reason)")
+			case inCodecFunc(stack):
+				pass.Reportf(call.Pos(),
+					"non-finite literal inside checkpoint encode/decode: route it through the jsonFloat hygiene codec so serialized checkpoints stay parseable, or annotate //lint:allow nonfinite(reason)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNonFiniteCall reports whether call is math.NaN() or math.Inf(...).
+func isNonFiniteCall(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+		return false
+	}
+	return fn.Name() == "NaN" || fn.Name() == "Inf"
+}
+
+// isCostType reports whether t (behind pointers) is maestro.Cost.
+func isCostType(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Cost" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/maestro")
+}
+
+// assignsToCostField reports whether the call's value lands in a
+// maestro.Cost field, either `cost.F = math.NaN()` or
+// `maestro.Cost{F: math.NaN()}`.
+func assignsToCostField(pass *lintkit.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	// Composite literal value (keyed or positional), possibly behind a
+	// KeyValueExpr node.
+	lit := parent
+	if kv, ok := parent.(*ast.KeyValueExpr); ok && kv.Value == call && len(stack) >= 2 {
+		lit = stack[len(stack)-2]
+	}
+	if cl, ok := lit.(*ast.CompositeLit); ok {
+		if tv, ok := pass.TypesInfo.Types[cl]; ok && isCostType(tv.Type) {
+			return true
+		}
+	}
+	// Direct assignment: find the call's position on the RHS and test the
+	// matching LHS.
+	assign, ok := parent.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs != call || i >= len(assign.Lhs) {
+			continue
+		}
+		if sel, ok := assign.Lhs[i].(*ast.SelectorExpr); ok {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isCostType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inCodecFunc reports whether the innermost enclosing named function is
+// on a serialization path.
+func inCodecFunc(stack []ast.Node) bool {
+	fn := lintkit.EnclosingFunc(stack)
+	decl, ok := fn.(*ast.FuncDecl)
+	return ok && codecFuncRx.MatchString(decl.Name.Name)
+}

@@ -1,0 +1,19 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestNonFinite proves NaN/Inf landing in maestro.Cost fields (field
+// assignment, keyed and positional composite literals, through a
+// pointer) and inside encode/decode functions is flagged in a
+// deterministic package, the +Inf best-so-far idiom and annotated
+// sites stay silent, and packages off the deterministic list
+// (plainpkg) are not analyzed.
+func TestNonFinite(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.NonFinite,
+		"spotlight/internal/sim", "plainpkg")
+}

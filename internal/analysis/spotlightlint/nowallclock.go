@@ -1,0 +1,76 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// NoWallClock forbids wall-clock reads and the global math/rand source
+// in deterministic packages. One time.Now() on the trajectory makes two
+// runs with the same seed diverge; one global rand.Float64() couples the
+// search to every other goroutine that touches the process-wide source,
+// so the History stops being bit-identical across worker counts.
+// Injected *rand.Rand streams (methods on a Rand value) and explicit
+// constructions (rand.New, rand.NewSource) stay legal. Genuinely-timing
+// code — resilience timeouts, latency counters — annotates itself with
+// //lint:allow wallclock(reason).
+var NoWallClock = &lintkit.Analyzer{
+	Name:       "nowallclock",
+	AllowToken: "wallclock",
+	Doc:        "forbid time.Now/Since/Until and the global math/rand source in deterministic packages",
+	Run:        runNoWallClock,
+}
+
+// wallClockFuncs are the time package's wall-clock reads. Monotonic or
+// not, their results differ run to run.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand package-level functions that build
+// a local, seedable source rather than consuming the global one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func runNoWallClock(pass *lintkit.Pass) error {
+	if !isDeterministic(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on an injected *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s in deterministic package %s: wall-clock reads break seed-reproducibility; thread elapsed time in from the caller or annotate //lint:allow wallclock(reason)",
+						fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global %s.%s in deterministic package %s: the process-wide source is shared across goroutines; use an injected *rand.Rand (or annotate //lint:allow wallclock(reason))",
+						fn.Pkg().Name(), fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestNoWallClock proves the analyzer fires inside a deterministic
+// package (fixtures under spotlight/internal/search), honours the
+// //lint:allow wallclock(reason) escape hatch, treats a reasonless
+// allow as inert, and stays silent in packages off the deterministic
+// list (plainpkg).
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.NoWallClock,
+		"spotlight/internal/search", "plainpkg")
+}

@@ -1,0 +1,100 @@
+// Package spotlightlint enforces the repo's determinism and hygiene
+// invariants mechanically. Spotlight's reproduction guarantee — the
+// search History is bit-identical at any worker count, checkpoints
+// resume to the same trajectory, surrogate fits reject non-finite
+// observations — holds only while no code path consults the wall clock,
+// the global RNG, or Go's randomized map iteration order. Before this
+// package those were conventions backed by property tests; each analyzer
+// here turns one of them into a build-time error.
+//
+// Analyzers (run them all with `go run ./cmd/lint ./...`):
+//
+//   - nowallclock: no time.Now/Since/Until and no global math/rand in
+//     deterministic packages; inject a *rand.Rand instead.
+//   - maporder: no map iteration that appends, writes output, or feeds a
+//     hash in order-sensitive packages, unless the keys are sorted.
+//   - guardsite: resilience.Guard is constructed only in internal/eval's
+//     guard middleware (the PR-3 invariant).
+//   - floateq: no ==/!= on floating-point operands outside tests.
+//   - nonfinite: no math.NaN/math.Inf flowing into Cost fields or
+//     checkpoint encoding outside the sanctioned hygiene helpers.
+//
+// Any finding can be suppressed with an inline or preceding-line
+// annotation naming its reason: //lint:allow wallclock(latency counter).
+// The reason is mandatory. See lintkit for the mechanism.
+package spotlightlint
+
+import (
+	"go/types"
+	"strings"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// deterministicPackages are the packages whose behaviour must be a pure
+// function of (inputs, seed): everything on the search trajectory from
+// proposal through cost model to surrogate fit. internal/dabo is listed
+// for when the DABO core splits out of internal/core; extra entries are
+// harmless because matching is exact.
+var deterministicPackages = []string{
+	"spotlight/internal/dabo",
+	"spotlight/internal/gp",
+	"spotlight/internal/search",
+	"spotlight/internal/sched",
+	"spotlight/internal/core",
+	"spotlight/internal/eval",
+	"spotlight/internal/sim",
+	"spotlight/internal/maestro",
+	"spotlight/internal/timeloop",
+	"spotlight/internal/stats",
+	"spotlight/internal/linalg",
+}
+
+// outputPackages additionally covers code whose *artifacts* must be
+// reproducible even though wall-clock use is fine there: the experiment
+// harness and the CLIs write CSVs and stdout that runs are diffed by, so
+// map-iteration order must not leak into them.
+var outputPackages = append([]string{
+	"spotlight/internal/exp",
+	"spotlight/cmd/spotlight",
+	"spotlight/cmd/experiments",
+	"spotlight/cmd/modelinfo",
+}, deterministicPackages...)
+
+func inList(path string, list []string) bool {
+	for _, p := range list {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isDeterministic reports whether pkg is on the strict determinism list.
+func isDeterministic(pkg *types.Package) bool {
+	return inList(pkg.Path(), deterministicPackages)
+}
+
+// isOutputSensitive reports whether pkg's output ordering must be
+// reproducible.
+func isOutputSensitive(pkg *types.Package) bool {
+	return inList(pkg.Path(), outputPackages)
+}
+
+// isTestFile reports whether the position's file is a _test.go file.
+// The loader only feeds non-test files, but fixtures and future callers
+// may not, and floateq's contract explicitly exempts tests.
+func isTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		NoWallClock,
+		MapOrder,
+		GuardSite,
+		FloatEq,
+		NonFinite,
+	}
+}

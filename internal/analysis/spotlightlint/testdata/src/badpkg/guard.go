@@ -1,0 +1,34 @@
+// Package badpkg constructs resilience.Guard outside internal/eval:
+// every construction form must be flagged, nil pointers and annotated
+// sites must not.
+package badpkg
+
+import "spotlight/internal/resilience"
+
+func composite() resilience.Guard {
+	return resilience.Guard{Retries: 3} // want "resilience.Guard constructed outside internal/eval"
+}
+
+func pointerLit() *resilience.Guard {
+	return &resilience.Guard{} // want "resilience.Guard constructed outside internal/eval"
+}
+
+func viaNew() *resilience.Guard {
+	return new(resilience.Guard) // want "resilience.Guard constructed outside internal/eval"
+}
+
+func zeroValue() {
+	var g resilience.Guard // want "resilience.Guard zero value declared outside internal/eval"
+	_ = g
+}
+
+// pointerDeclIsFine declares a nil pointer: nothing is constructed.
+func pointerDeclIsFine() {
+	var gp *resilience.Guard
+	_ = gp
+}
+
+// annotated proves the escape hatch.
+func annotated() resilience.Guard {
+	return resilience.Guard{Retries: 1} //lint:allow guardsite(fixture: proves the escape hatch)
+}

@@ -1,0 +1,45 @@
+// Package floatpkg exercises floateq: flag exact float comparisons,
+// hint math.IsNaN for the x != x probe, allowlist comparisons against
+// literal zero and constant folding, honour the escape hatch.
+package floatpkg
+
+type point struct{ v float64 }
+
+func compares(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func nanProbe(x float64) bool {
+	return x != x // want "use math.IsNaN"
+}
+
+func selectorProbe(p point) bool {
+	return p.v != p.v // want "use math.IsNaN"
+}
+
+// zeroSentinel is allowlisted: the IEEE zero every zero-initialized
+// field holds bit-for-bit.
+func zeroSentinel(x float64) bool {
+	return x == 0
+}
+
+const eps = 1e-9
+
+// constFold is allowlisted: the compiler folds constant comparisons.
+func constFold() bool {
+	return eps == 1e-9
+}
+
+// intsAreFine: not a float comparison.
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+// annotated proves the escape hatch.
+func annotated(a, b float64) bool {
+	return a == b //lint:allow floateq(fixture: proves the escape hatch)
+}

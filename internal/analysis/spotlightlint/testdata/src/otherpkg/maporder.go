@@ -1,0 +1,11 @@
+// Package otherpkg is outside the output-sensitive set, so maporder
+// must stay silent even for a loop it would flag elsewhere.
+package otherpkg
+
+import "fmt"
+
+func PrintsUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

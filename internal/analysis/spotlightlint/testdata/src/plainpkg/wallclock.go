@@ -1,0 +1,13 @@
+// Package plainpkg is not on the deterministic list, so nowallclock
+// must stay silent here: the scoping logic, not the match logic, is
+// under test.
+package plainpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func TimingIsFineHere() (time.Time, float64) {
+	return time.Now(), rand.Float64()
+}

@@ -1,0 +1,14 @@
+// Package eval is the one sanctioned Guard construction site: guardsite
+// must stay silent here however the Guard is built.
+package eval
+
+import "spotlight/internal/resilience"
+
+func WithGuard(retries int) *resilience.Guard {
+	g := resilience.Guard{Retries: retries}
+	fresh := new(resilience.Guard)
+	var zero resilience.Guard
+	_ = fresh
+	_ = zero
+	return &g
+}

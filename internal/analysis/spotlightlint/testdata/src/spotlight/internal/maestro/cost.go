@@ -1,0 +1,10 @@
+// Package maestro is a fixture stand-in defining the Cost type that
+// nonfinite protects.
+package maestro
+
+// Cost mirrors the real cost-model output record.
+type Cost struct {
+	DelayCycles float64
+	EnergyNJ    float64
+	Utilization float64
+}

@@ -1,0 +1,14 @@
+// Package resilience is a fixture stand-in defining the Guard type.
+// The defining package may construct its own type freely.
+package resilience
+
+// Guard retries and rate-limits evaluator calls.
+type Guard struct {
+	Retries int
+	Backoff int
+}
+
+// New is the package's own constructor: exempt.
+func New(retries int) *Guard {
+	return &Guard{Retries: retries}
+}

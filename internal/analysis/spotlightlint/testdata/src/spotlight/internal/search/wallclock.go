@@ -1,0 +1,53 @@
+// Package search is a fixture standing in for the real deterministic
+// search package: nowallclock must fire on every wall-clock read and
+// global-rand call here, stay silent for injected RNG streams, and
+// honour the //lint:allow wallclock(reason) escape hatch.
+package search
+
+import (
+	"math/rand"
+	"time"
+)
+
+func usesWallClock() time.Duration {
+	start := time.Now() // want "time.Now in deterministic package"
+	doWork()
+	return time.Since(start) // want "time.Since in deterministic package"
+}
+
+func usesDeadline(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until in deterministic package"
+}
+
+func usesGlobalRand() float64 {
+	n := rand.Int() // want "global rand.Int in deterministic package"
+	_ = n
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle in deterministic package"
+	return rand.Float64()              // want "global rand.Float64 in deterministic package"
+}
+
+// usesInjectedRand is the sanctioned pattern: a locally constructed or
+// injected stream. No diagnostics.
+func usesInjectedRand(rng *rand.Rand) float64 {
+	local := rand.New(rand.NewSource(42))
+	return rng.Float64() + local.Float64()
+}
+
+// annotated proves the escape hatch: same violation, suppressed with a
+// reasoned allow inline and on the preceding line.
+func annotated() time.Time {
+	//lint:allow wallclock(fixture: proves the preceding-line escape hatch)
+	a := time.Now()
+	b := time.Now() //lint:allow wallclock(fixture: proves the inline escape hatch)
+	_ = a
+	return b
+}
+
+// bareAllowDoesNotSuppress proves a reasonless allow is inert: the
+// annotation above the call names no reason, so the diagnostic stands.
+func bareAllowDoesNotSuppress() time.Time {
+	//lint:allow wallclock()
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func doWork() {}

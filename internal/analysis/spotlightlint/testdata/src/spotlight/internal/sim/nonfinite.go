@@ -1,0 +1,52 @@
+// Package sim is a fixture for nonfinite: NaN/Inf into Cost fields and
+// codec functions is flagged; +Inf best-so-far seeds and annotated
+// sites are not.
+package sim
+
+import (
+	"math"
+
+	"spotlight/internal/maestro"
+)
+
+func fieldAssign() maestro.Cost {
+	var c maestro.Cost
+	c.DelayCycles = math.NaN() // want "non-finite value written into a maestro.Cost field"
+	return c
+}
+
+func pointerFieldAssign(c *maestro.Cost) {
+	c.Utilization = math.NaN() // want "non-finite value written into a maestro.Cost field"
+}
+
+func compositeKeyed() maestro.Cost {
+	return maestro.Cost{EnergyNJ: math.Inf(1)} // want "non-finite value written into a maestro.Cost field"
+}
+
+func compositePositional() maestro.Cost {
+	return maestro.Cost{math.NaN(), 0, 0} // want "non-finite value written into a maestro.Cost field"
+}
+
+func encodeState() float64 {
+	sentinel := math.NaN() // want "non-finite literal inside checkpoint encode/decode"
+	return sentinel
+}
+
+// bestSoFar seeds a minimization loop with +Inf: the tree's normal
+// idiom, not flagged.
+func bestSoFar(xs []float64) float64 {
+	best := math.Inf(1)
+	for _, x := range xs {
+		if x < best {
+			best = x
+		}
+	}
+	return best
+}
+
+// annotated proves the escape hatch.
+func annotated() maestro.Cost {
+	var c maestro.Cost
+	c.EnergyNJ = math.Inf(1) //lint:allow nonfinite(fixture: proves the escape hatch)
+	return c
+}

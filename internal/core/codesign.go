@@ -240,7 +240,7 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 		res.Frontier = frontier.Designs()
 		res.Top = top.Designs()
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock(HistoryPoint.Elapsed is wall-clock by contract; the CSV column is documented nondeterministic and dropped before diffing)
 	for t := startSample; t <= cfg.HWSamples; t++ {
 		if err := ctx.Err(); err != nil {
 			finish()
@@ -269,7 +269,7 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 		}
 		res.History = append(res.History, HistoryPoint{
 			Sample:    t,
-			Elapsed:   elapsedOffset + time.Since(start),
+			Elapsed:   elapsedOffset + time.Since(start), //lint:allow wallclock(HistoryPoint.Elapsed is wall-clock by contract; dropped before determinism diffs)
 			Value:     value,
 			BestSoFar: res.Best.Objective,
 		})

@@ -37,7 +37,7 @@ type ParetoFrontier struct {
 // design joined the frontier.
 func (p *ParetoFrontier) Add(d Design) bool {
 	for _, q := range p.points {
-		if dominates(q, d) || (q.Accel == d.Accel && q.Objective == d.Objective) {
+		if dominates(q, d) || (q.Accel == d.Accel && q.Objective == d.Objective) { //lint:allow floateq(exact dedup of a re-offered identical design; a tolerance would merge distinct designs)
 			return false
 		}
 	}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// This file flattens the map-keyed figure results into CSV rows in a
+// deterministic order. The figure functions return maps keyed by model
+// name, and Go randomizes map iteration — so building rows by ranging
+// over those maps (as cmd/experiments originally did, caught by
+// spotlightlint's maporder analyzer) shuffled fig9/fig10/fig11 CSV row
+// order between identical runs. Everything here iterates SortedKeys.
+
+// SortedKeys returns m's keys in ascending order: the only sanctioned
+// way to turn a string-keyed result map into output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FormatValue renders an objective for CSV: finite values in compact
+// scientific form, +Inf (an infeasible sample) as "inf".
+func FormatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Fig9Rows flattens Figure 9's per-model feature importances,
+// model-sorted.
+func Fig9Rows(res Fig9Result) (header []string, rows [][]string) {
+	header = append([]string{"model"}, res.Features...)
+	for _, model := range SortedKeys(res.Importance) {
+		row := []string{model}
+		for _, v := range res.Importance[model] {
+			row = append(row, strconv.FormatFloat(v, 'g', 4, 64))
+		}
+		rows = append(rows, row)
+	}
+	return header, rows
+}
+
+// Fig10Rows flattens Figure 10's convergence histories, model-sorted
+// (tools and trials already carry a stable order within each model).
+func Fig10Rows(curves map[string][]Curve) (header []string, rows [][]string) {
+	header = []string{"model", "tool", "trial", "sample", "elapsed_s", "value", "best_so_far"}
+	for _, model := range SortedKeys(curves) {
+		for _, c := range curves[model] {
+			for t, trial := range c.Trials {
+				for _, h := range trial {
+					rows = append(rows, []string{
+						model, c.Tool, strconv.Itoa(t), strconv.Itoa(h.Sample),
+						strconv.FormatFloat(h.Elapsed.Seconds(), 'g', 6, 64),
+						FormatValue(h.Value),
+						FormatValue(h.BestSoFar),
+					})
+				}
+			}
+		}
+	}
+	return header, rows
+}
+
+// Fig11Rows flattens Figure 11's per-trial CDFs at 5% percentile steps,
+// model-sorted.
+func Fig11Rows(cdfs map[string][]CDFSeries) (header []string, rows [][]string) {
+	header = []string{"model", "tool", "trial", "percentile", "value"}
+	for _, model := range SortedKeys(cdfs) {
+		for _, s := range cdfs[model] {
+			for t, cdf := range s.Trials {
+				if cdf.Len() == 0 {
+					continue
+				}
+				for p := 5; p <= 100; p += 5 {
+					rows = append(rows, []string{
+						model, s.Tool, strconv.Itoa(t), strconv.Itoa(p),
+						strconv.FormatFloat(cdf.InverseAt(float64(p)/100), 'g', 6, 64),
+					})
+				}
+			}
+		}
+	}
+	return header, rows
+}

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"spotlight/internal/core"
+	"spotlight/internal/stats"
+)
+
+// The row builders exist because ranging over the figure-result maps
+// shuffled CSV rows between identical runs (Go randomizes map iteration
+// order). These regression tests build multi-key maps and assert the
+// flattened rows come out identical — and model-sorted — across many
+// repetitions, which reliably fails under map-order iteration: with
+// seven keys the chance of 50 identical accidental orderings is
+// (1/7!)^49 ≈ 0.
+func modelNames() []string {
+	return []string{"VGG16", "ResNet-50", "MobileNetV2", "MnasNet", "Transformer", "AlphaGoZero", "NCF"}
+}
+
+func TestFig9RowsDeterministicAndSorted(t *testing.T) {
+	res := Fig9Result{Features: []string{"f0", "f1"}}
+	res.Importance = map[string][]float64{}
+	for i, m := range modelNames() {
+		res.Importance[m] = []float64{float64(i), 1}
+	}
+	header, first := Fig9Rows(res)
+	if want := []string{"model", "f0", "f1"}; !reflect.DeepEqual(header, want) {
+		t.Fatalf("header = %v, want %v", header, want)
+	}
+	if len(first) != len(res.Importance) {
+		t.Fatalf("got %d rows, want %d", len(first), len(res.Importance))
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1][0] >= first[i][0] {
+			t.Fatalf("rows not model-sorted: %q before %q", first[i-1][0], first[i][0])
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, again := Fig9Rows(res); !reflect.DeepEqual(first, again) {
+			t.Fatalf("iteration %d produced different row order:\n%v\nvs\n%v", i, first, again)
+		}
+	}
+}
+
+func TestFig10RowsDeterministic(t *testing.T) {
+	curves := map[string][]Curve{}
+	for i, m := range modelNames() {
+		curves[m] = []Curve{{
+			Tool: "Spotlight",
+			Trials: [][]core.HistoryPoint{{
+				{Sample: 1, Elapsed: time.Duration(i) * time.Second, Value: float64(i + 1), BestSoFar: float64(i + 1)},
+				{Sample: 2, Elapsed: time.Duration(i) * time.Second, Value: float64(i + 2), BestSoFar: float64(i + 1)},
+			}},
+		}}
+	}
+	_, first := Fig10Rows(curves)
+	if len(first) != 2*len(curves) {
+		t.Fatalf("got %d rows, want %d", len(first), 2*len(curves))
+	}
+	for i := 0; i < 50; i++ {
+		if _, again := Fig10Rows(curves); !reflect.DeepEqual(first, again) {
+			t.Fatalf("iteration %d produced different row order", i)
+		}
+	}
+}
+
+func TestFig11RowsDeterministic(t *testing.T) {
+	cdfs := map[string][]CDFSeries{}
+	for i, m := range modelNames() {
+		cdfs[m] = []CDFSeries{{
+			Tool:   "Spotlight",
+			Trials: []*stats.CDF{stats.NewCDF([]float64{float64(i), float64(i + 1), float64(i + 2)})},
+		}}
+	}
+	_, first := Fig11Rows(cdfs)
+	if len(first) != 20*len(cdfs) {
+		t.Fatalf("got %d rows, want %d (20 percentile steps per model)", len(first), 20*len(cdfs))
+	}
+	for i := 0; i < 50; i++ {
+		if _, again := Fig11Rows(cdfs); !reflect.DeepEqual(first, again) {
+			t.Fatalf("iteration %d produced different row order", i)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	if got, want := SortedKeys(m), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+	if got := SortedKeys(map[string]struct{}{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want empty", got)
+	}
+}

@@ -22,7 +22,7 @@ func Ranks(v []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] { //lint:allow floateq(rank ties are defined by exact equality; a tolerance would invent ties and skew Spearman)
 			j++
 		}
 		// Average rank over the tie group [i, j].
