@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race chaos ci
+.PHONY: all build test lint vet fmt race chaos tracesmoke ci
 
 all: build test lint
 
@@ -31,4 +31,17 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Checkpoint|Cancel' -count=2 ./...
 
-ci: lint build test race chaos
+# tracesmoke proves the observe-only invariant end to end through the
+# CLI: a traced and an untraced fig6 run produce byte-identical CSVs,
+# and the trace passes schema validation. Mirrors the CI step.
+tracesmoke:
+	$(GO) test -run=NONE -bench=BenchmarkTraceOverhead -benchtime=1x ./internal/eval/...
+	$(GO) build -o /tmp/experiments ./cmd/experiments
+	$(GO) build -o /tmp/tracestat ./cmd/tracestat
+	/tmp/experiments -fig 6 -models MobileNetV2 -hw 4 -sw 6 -trials 1 -eval sim,cache,stats -out /tmp/untraced
+	/tmp/experiments -fig 6 -models MobileNetV2 -hw 4 -sw 6 -trials 1 -eval sim,cache,stats -out /tmp/traced -trace /tmp/run.jsonl
+	cmp /tmp/untraced/fig6.csv /tmp/traced/fig6.csv
+	/tmp/tracestat -check /tmp/run.jsonl
+	/tmp/tracestat /tmp/run.jsonl
+
+ci: lint build test race chaos tracesmoke

@@ -24,6 +24,7 @@ import (
 	"spotlight/internal/core"
 	"spotlight/internal/eval"
 	"spotlight/internal/exp"
+	"spotlight/internal/obs"
 )
 
 func main() {
@@ -51,8 +52,26 @@ func run() error {
 			"evaluation pipeline spec: backend[,middleware...] — backends: "+
 				strings.Join(eval.Backends(), ", ")+"; middlewares: cache, guard, stats")
 		evalStats = flag.Bool("eval-stats", false, "print per-backend evaluation and cache statistics at exit")
+
+		traceFile   = flag.String("trace", "", "write structured JSONL trace events to this file (observe-only: every CSV is byte-identical with or without; inspect with tracestat)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof/* on this address while running, e.g. 127.0.0.1:6060 (\":0\" picks a port)")
 	)
 	flag.Parse()
+
+	tele, err := obs.StartTelemetry(*traceFile, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := tele.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: trace:", cerr)
+		} else if *traceFile != "" {
+			fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", tele.Events(), *traceFile)
+		}
+	}()
+	if tele.Addr != "" {
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", tele.Addr)
+	}
 
 	cfg := exp.Default()
 	if *paper {
@@ -88,7 +107,8 @@ func run() error {
 	// deduplicate evaluations between figures, and gives us a stats layer
 	// to report from at exit.
 	cfg.EvalSpec = *evalSpec
-	pipe, err := eval.FromSpec(*evalSpec, eval.SpecOptions{EnsureStats: true})
+	cfg.Tracer = tele.Tracer
+	pipe, err := eval.FromSpec(*evalSpec, eval.SpecOptions{EnsureStats: true, Tracer: tele.Tracer})
 	if err != nil {
 		var unknown *eval.UnknownBackendError
 		if errors.As(err, &unknown) {

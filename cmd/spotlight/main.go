@@ -27,6 +27,7 @@ import (
 	"spotlight/internal/eval"
 	"spotlight/internal/exp"
 	"spotlight/internal/hw"
+	"spotlight/internal/obs"
 	"spotlight/internal/search"
 	"spotlight/internal/workload"
 )
@@ -62,8 +63,26 @@ func run() error {
 		resumeFrom  = flag.String("resume", "", "resume from a checkpoint file; models, seed, strategy, and budgets must match the original run")
 		evalTimeout = flag.Duration("eval-timeout", 0, "abandon any single cost-model evaluation after this long (0 = none)")
 		evalRetries = flag.Int("eval-retries", 0, "retries for transient cost-model faults, with exponential backoff")
+
+		traceFile   = flag.String("trace", "", "write structured JSONL trace events to this file (observe-only: results are bit-identical with or without; inspect with tracestat)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof/* on this address while running, e.g. 127.0.0.1:6060 (\":0\" picks a port)")
 	)
 	flag.Parse()
+
+	tele, err := obs.StartTelemetry(*traceFile, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := tele.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "spotlight: trace:", cerr)
+		} else if *traceFile != "" {
+			fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", tele.Events(), *traceFile)
+		}
+	}()
+	if tele.Addr != "" {
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", tele.Addr)
+	}
 
 	var models []workload.Model
 	for _, name := range strings.Split(*modelsFlag, ",") {
@@ -114,6 +133,7 @@ func run() error {
 			Seed:    *seed,
 		},
 		EnsureStats: true,
+		Tracer:      tele.Tracer,
 	})
 	if err != nil {
 		// An unknown backend is a usage error: say what exists and how
@@ -155,6 +175,7 @@ func run() error {
 		Seed:      *seed,
 		Eval:      pipe,
 		Workers:   *workers,
+		Tracer:    tele.Tracer,
 	}
 	if *resumeFrom != "" {
 		cp, err := readCheckpointFile(*resumeFrom)

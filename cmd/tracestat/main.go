@@ -1,0 +1,209 @@
+// Command tracestat summarizes a structured trace written by spotlight
+// or experiments with -trace: where the time went (per event type),
+// how the search converged (incumbent improvements by hardware sample),
+// and what the evaluation pipeline did (cache, guard, backend paths) —
+// all reconstructed from the JSONL stream alone, with no access to the
+// run that produced it.
+//
+// Examples:
+//
+//	tracestat run.jsonl            # full summary
+//	tracestat -check run.jsonl     # validate every line against the event schema
+//	spotlight -trace /dev/stdout ... | tracestat -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"spotlight/internal/obs"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate only: parse every line against the event schema and report the first violation")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-check] FILE  (use - for stdin)")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	var err error
+	if *check {
+		err = checkTrace(in, os.Stdout)
+	} else {
+		err = summarize(in, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+// readTrace parses a JSONL stream strictly, failing on the first line
+// that does not decode or does not satisfy the event schema.
+func readTrace(r io.Reader) ([]obs.Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var events []obs.Event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		e, err := obs.ParseLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// checkTrace is the -check mode: schema-validate every line and verify
+// the sequence numbers are dense from 1, which is what one JSONL sink
+// guarantees (a concatenation of several traces is not one trace).
+func checkTrace(r io.Reader, w io.Writer) error {
+	events, err := readTrace(r)
+	if err != nil {
+		return err
+	}
+	for i, e := range events {
+		if e.Seq != int64(i)+1 {
+			return fmt.Errorf("event %d has seq %d; want dense sequence numbers from 1", i+1, e.Seq)
+		}
+	}
+	fmt.Fprintf(w, "%d events: schema OK\n", len(events))
+	return nil
+}
+
+// summarize renders the full report.
+func summarize(r io.Reader, w io.Writer) error {
+	events, err := readTrace(r)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	counts := map[obs.EventType]int{}
+	durTotal := map[obs.EventType]float64{}
+	durCount := map[obs.EventType]int{}
+	evalOutcomes := map[string]int{}
+	backendPaths := map[string]int{}
+	var tool string
+	var budgeted, completed int
+	type improvement struct {
+		sample int
+		best   float64
+	}
+	var conv []improvement
+	for _, e := range events {
+		counts[e.Type]++
+		if e.DurMS > 0 {
+			durTotal[e.Type] += e.DurMS
+			durCount[e.Type]++
+		}
+		switch e.Type {
+		case obs.RunStart:
+			tool, budgeted = e.Detail, e.N
+		case obs.RunEnd:
+			completed = e.N
+		case obs.Incumbent:
+			conv = append(conv, improvement{sample: e.Sample, best: e.Value})
+		case obs.EvalDone:
+			evalOutcomes[e.Detail]++
+		case obs.BackendPath:
+			backendPaths[e.Detail]++
+		}
+	}
+
+	span := events[len(events)-1].TMS - events[0].TMS
+	fmt.Fprintf(w, "trace: %d events spanning %.1f ms\n", len(events), span)
+	if tool != "" {
+		fmt.Fprintf(w, "run: %s, %d hardware samples budgeted, %d completed\n", tool, budgeted, completed)
+	}
+
+	fmt.Fprintf(w, "\nphase time (sum of event durations):\n")
+	var typs []obs.EventType
+	var grand float64
+	for typ, total := range durTotal { //lint:allow maporder(sort.Slice below orders typs before anything is printed)
+		typs = append(typs, typ)
+		grand += total
+	}
+	sort.Slice(typs, func(i, j int) bool {
+		if durTotal[typs[i]] != durTotal[typs[j]] { //lint:allow floateq(exact inequality picks the tie-break branch; any tolerance would make the sort order depend on it)
+			return durTotal[typs[i]] > durTotal[typs[j]]
+		}
+		return typs[i] < typs[j]
+	})
+	for _, typ := range typs {
+		fmt.Fprintf(w, "  %-18s %10.1f ms  %5.1f%%  (%d events)\n",
+			typ, durTotal[typ], 100*durTotal[typ]/grand, durCount[typ])
+	}
+	if len(typs) == 0 {
+		fmt.Fprintf(w, "  (no events carry durations)\n")
+	}
+
+	if len(conv) > 0 {
+		fmt.Fprintf(w, "\nconvergence (%d of %d proposals improved the incumbent):\n",
+			len(conv), counts[obs.HWPropose])
+		fmt.Fprintf(w, "  sample        best\n")
+		for _, c := range conv {
+			fmt.Fprintf(w, "  %6d  %10.6g\n", c.sample, c.best)
+		}
+	}
+
+	hits, misses := counts[obs.CacheHit], counts[obs.CacheMiss]
+	if hits+misses > 0 {
+		fmt.Fprintf(w, "\ncache: hits=%d misses=%d leader-panics=%d (%.1f%% hit rate)\n",
+			hits, misses, counts[obs.CachePanic], 100*float64(hits)/float64(hits+misses))
+	}
+	if counts[obs.GuardRetry]+counts[obs.GuardTimeout] > 0 {
+		fmt.Fprintf(w, "guard: retries=%d timeouts=%d\n",
+			counts[obs.GuardRetry], counts[obs.GuardTimeout])
+	}
+	if len(evalOutcomes) > 0 {
+		fmt.Fprintf(w, "evals: %s\n", formatCounts(evalOutcomes))
+	}
+	if len(backendPaths) > 0 {
+		fmt.Fprintf(w, "backend paths: %s\n", formatCounts(backendPaths))
+	}
+	if n := counts[obs.DABOFit]; n > 0 {
+		fmt.Fprintf(w, "surrogate: %d fits, %d degradations\n", n, counts[obs.DABODegraded])
+	}
+	return nil
+}
+
+// formatCounts renders a name→count map as "a=1 b=2", sorted by name for
+// deterministic output.
+func formatCounts(m map[string]int) string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, m[name]))
+	}
+	return strings.Join(parts, " ")
+}

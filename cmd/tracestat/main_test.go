@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSummarizeGolden pins the full report for the checked-in miniature
+// trace. The fixture exercises every section of the report: phase
+// breakdown, convergence table, cache/guard/eval/backend summaries, and
+// the surrogate line. Regenerate with
+//
+//	go run ./cmd/tracestat cmd/tracestat/testdata/mini.jsonl > cmd/tracestat/testdata/mini.golden
+//
+// after an intentional format change.
+func TestSummarizeGolden(t *testing.T) {
+	trace, err := os.ReadFile(filepath.Join("testdata", "mini.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "mini.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := summarize(bytes.NewReader(trace), &got); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("summary differs from golden file:\n--- got ---\n%s--- want ---\n%s", got.Bytes(), want)
+	}
+}
+
+func TestCheckAcceptsGoldenTrace(t *testing.T) {
+	trace, err := os.ReadFile(filepath.Join("testdata", "mini.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := checkTrace(bytes.NewReader(trace), &out); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if got, want := out.String(), "39 events: schema OK\n"; got != want {
+		t.Errorf("check output = %q, want %q", got, want)
+	}
+}
+
+func TestCheckRejectsBadTraces(t *testing.T) {
+	cases := []struct {
+		name, trace, wantErr string
+	}{
+		{
+			name:    "unknown type",
+			trace:   `{"seq":1,"t_ms":0,"type":"hw.explode"}` + "\n",
+			wantErr: "unknown event type",
+		},
+		{
+			name:    "unknown field",
+			trace:   `{"seq":1,"t_ms":0,"type":"cache.hit","frobnication":3}` + "\n",
+			wantErr: "unknown field",
+		},
+		{
+			name:    "missing required field",
+			trace:   `{"seq":1,"t_ms":0,"type":"sw.start"}` + "\n",
+			wantErr: "missing layer",
+		},
+		{
+			name: "gap in sequence numbers",
+			trace: `{"seq":1,"t_ms":0,"type":"cache.hit"}` + "\n" +
+				`{"seq":3,"t_ms":1,"type":"cache.hit"}` + "\n",
+			wantErr: "dense sequence",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := checkTrace(strings.NewReader(tc.trace), &out)
+			if err == nil {
+				t.Fatalf("check accepted invalid trace %q", tc.trace)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSummarizeEmptyTrace(t *testing.T) {
+	if err := summarize(strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("summarize accepted an empty trace")
+	}
+}

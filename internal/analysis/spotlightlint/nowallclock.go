@@ -27,12 +27,23 @@ var NoWallClock = &lintkit.Analyzer{
 // not, their results differ run to run.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
+// wallClockExempt names deterministic packages whose whole job is
+// timing and which therefore read the clock by design. internal/obs is
+// the sanctioned home for wall-clock access: instrumented packages call
+// obs.Now/obs.Since instead of time directly, so the exemption stays a
+// package-level policy here rather than //lint:allow annotations
+// scattered through the clock helpers. The other analyzers (maporder,
+// floateq, ...) still apply to exempt packages in full.
+var wallClockExempt = []string{
+	"spotlight/internal/obs",
+}
+
 // randConstructors are the math/rand package-level functions that build
 // a local, seedable source rather than consuming the global one.
 var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true}
 
 func runNoWallClock(pass *lintkit.Pass) error {
-	if !isDeterministic(pass.Pkg) {
+	if !isDeterministic(pass.Pkg) || inList(pass.Pkg.Path(), wallClockExempt) {
 		return nil
 	}
 	for _, f := range pass.Files {

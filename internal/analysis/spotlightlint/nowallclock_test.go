@@ -10,9 +10,11 @@ import (
 // TestNoWallClock proves the analyzer fires inside a deterministic
 // package (fixtures under spotlight/internal/search), honours the
 // //lint:allow wallclock(reason) escape hatch, treats a reasonless
-// allow as inert, and stays silent in packages off the deterministic
-// list (plainpkg).
+// allow as inert, stays silent in packages off the deterministic list
+// (plainpkg), and stays silent in wallClockExempt packages
+// (spotlight/internal/obs — deterministic, but the sanctioned home for
+// clock reads).
 func TestNoWallClock(t *testing.T) {
 	linttest.Run(t, "testdata", spotlightlint.NoWallClock,
-		"spotlight/internal/search", "plainpkg")
+		"spotlight/internal/search", "plainpkg", "spotlight/internal/obs")
 }

@@ -48,6 +48,11 @@ var deterministicPackages = []string{
 	"spotlight/internal/timeloop",
 	"spotlight/internal/stats",
 	"spotlight/internal/linalg",
+	// internal/obs is deterministic in everything except the clock: its
+	// maps and floats feed trace lines and /metrics output that runs are
+	// diffed by. nowallclock exempts it by policy (see wallClockExempt) —
+	// it is the one sanctioned home for wall-clock reads.
+	"spotlight/internal/obs",
 }
 
 // outputPackages additionally covers code whose *artifacts* must be
@@ -59,6 +64,7 @@ var outputPackages = append([]string{
 	"spotlight/cmd/spotlight",
 	"spotlight/cmd/experiments",
 	"spotlight/cmd/modelinfo",
+	"spotlight/cmd/tracestat",
 }, deterministicPackages...)
 
 func inList(path string, list []string) bool {

@@ -1,0 +1,11 @@
+// Package obs is a fixture standing in for the real telemetry package:
+// it is on the deterministic list (maporder and friends apply) but
+// exempt from nowallclock by package policy, so bare wall-clock reads
+// here must produce no diagnostics — no //lint:allow needed.
+package obs
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Since(start time.Time) time.Duration { return time.Since(start) }

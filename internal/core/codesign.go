@@ -10,6 +10,7 @@ import (
 
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
+	"spotlight/internal/obs"
 	"spotlight/internal/pool"
 	"spotlight/internal/sched"
 	"spotlight/internal/workload"
@@ -50,6 +51,17 @@ type RunConfig struct {
 	// safe for concurrent Evaluate calls when Workers != 1 (the bundled
 	// analytical models and the sim backend all are).
 	Workers int
+
+	// Tracer, when non-nil, receives structured trace events for every
+	// phase of the nested search: run start/end, hardware proposals,
+	// incumbent improvements, per-layer software searches, and
+	// checkpoint activity. Tracing is observe-only — the History and
+	// every downstream CSV are bit-identical with tracing on or off, at
+	// any worker count — and the field is deliberately excluded from the
+	// checkpoint fingerprint, so traced and untraced runs share
+	// checkpoints. The Tracer must be safe for concurrent Emit calls
+	// when Workers != 1 (all obs sinks are).
+	Tracer obs.Tracer
 
 	// Resume, when non-nil, restores the state of a previous run of the
 	// *same* configuration and strategy (enforced by fingerprint) and
@@ -221,7 +233,7 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 	res.Best.Objective = math.Inf(1)
 	var frontier ParetoFrontier
 	top := TopDesigns{K: topKDesigns}
-	var obs []Observation
+	var observed []Observation
 	startSample := 1
 	var elapsedOffset time.Duration
 
@@ -231,22 +243,39 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 			return Result{}, fmt.Errorf("core: %s: resume: %w", strat.Name(), err)
 		}
 		res.Best, res.History = st.best, st.history
-		frontier, top, obs = st.frontier, st.top, st.obs
-		startSample = len(obs) + 1
+		frontier, top, observed = st.frontier, st.top, st.obs
+		startSample = len(observed) + 1
 		elapsedOffset = st.elapsed
 	}
 
+	tr := cfg.Tracer
+	if obs.Enabled(tr) {
+		tr.Emit(obs.Event{Type: obs.RunStart, Detail: strat.Name(), N: cfg.HWSamples})
+		if cfg.Resume != nil {
+			tr.Emit(obs.Event{Type: obs.CheckpointLoad, Sample: startSample - 1})
+		}
+	}
 	finish := func() {
 		res.Frontier = frontier.Designs()
 		res.Top = top.Designs()
+		if obs.Enabled(tr) {
+			tr.Emit(obs.Event{Type: obs.RunEnd, N: len(res.History)})
+		}
 	}
-	start := time.Now() //lint:allow wallclock(HistoryPoint.Elapsed is wall-clock by contract; the CSV column is documented nondeterministic and dropped before diffing)
+	// HistoryPoint.Elapsed is wall-clock by contract; the CSV column is
+	// documented nondeterministic and dropped before determinism diffs.
+	// The reads go through obs, the one package sanctioned to touch the
+	// clock.
+	start := obs.Now()
 	for t := startSample; t <= cfg.HWSamples; t++ {
 		if err := ctx.Err(); err != nil {
 			finish()
 			return res, stoppedErr(strat, t-1, cfg.HWSamples, err)
 		}
 		accel := hwSearch.Suggest()
+		if obs.Enabled(tr) {
+			tr.Emit(obs.Event{Type: obs.HWPropose, Sample: t, Detail: accel.String()})
+		}
 		design, derr := evaluateHardware(ctx, cfg, strat, accel, layers, swBudget, t)
 		if err := ctx.Err(); err != nil {
 			// This sample's software search was cut short; its
@@ -266,10 +295,13 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 		}
 		if value < res.Best.Objective {
 			res.Best = design
+			if obs.Enabled(tr) {
+				tr.Emit(obs.Event{Type: obs.Incumbent, Sample: t, Value: value})
+			}
 		}
 		res.History = append(res.History, HistoryPoint{
 			Sample:    t,
-			Elapsed:   elapsedOffset + time.Since(start), //lint:allow wallclock(HistoryPoint.Elapsed is wall-clock by contract; dropped before determinism diffs)
+			Elapsed:   elapsedOffset + obs.Since(start),
 			Value:     value,
 			BestSoFar: res.Best.Objective,
 		})
@@ -277,13 +309,18 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 		if derr == nil {
 			o.Objective = design.Objective
 		}
-		obs = append(obs, o)
+		observed = append(observed, o)
 		if cfg.OnCheckpoint != nil {
-			cp := buildCheckpoint(cfg, strat, obs, &res, &frontier, &top)
+			cpStart := obs.Now()
+			cp := buildCheckpoint(cfg, strat, observed, &res, &frontier, &top)
 			if err := cfg.OnCheckpoint(cp); err != nil {
 				finish()
 				return res, fmt.Errorf("core: %s: checkpoint after sample %d: %w",
 					strat.Name(), t, err)
+			}
+			if obs.Enabled(tr) {
+				tr.Emit(obs.Event{Type: obs.CheckpointSave, Sample: t,
+					DurMS: obs.MS(obs.Since(cpStart))})
 			}
 		}
 	}
@@ -356,10 +393,26 @@ func evaluateHardware(ctx context.Context, cfg RunConfig, strat Strategy, accel 
 		sws[i] = strat.NewSW(cfg, rng, accel, ml.layer)
 	}
 	design.Layers = make([]LayerResult, len(layers))
-	if err := pool.RunCtx(ctx, len(layers), cfg.Workers, func(i int) {
+	if err := pool.RunCtxTraced(ctx, len(layers), cfg.Workers, cfg.Tracer, func(i int) {
+		name := layers[i].model + "/" + layers[i].layer.Name
+		traced := obs.Enabled(cfg.Tracer)
+		var swStart time.Time
+		if traced {
+			cfg.Tracer.Emit(obs.Event{Type: obs.SWStart, Sample: sample, Layer: name})
+			swStart = obs.Now()
+		}
 		lr := runLayerSearch(ctx, cfg, sws[i], accel, layers[i].layer, swBudget)
 		lr.Model = layers[i].model
 		design.Layers[i] = lr
+		if traced {
+			e := obs.Event{Type: obs.SWEnd, Sample: sample, Layer: name,
+				Detail: "invalid", DurMS: obs.MS(obs.Since(swStart))}
+			if lr.Valid {
+				e.Detail = "valid"
+				e.Value = cfg.Objective.LayerCost(lr.Cost)
+			}
+			cfg.Tracer.Emit(e)
+		}
 	}); err != nil {
 		// Canceled mid-sample; the caller discards this design.
 		return design, err

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"time"
 
 	"spotlight/internal/gp"
+	"spotlight/internal/obs"
 )
 
 // DABO is the domain-aware Bayesian optimizer of §V. It is agnostic to
@@ -43,6 +45,11 @@ type DABO struct {
 
 	// Reusable batch-prediction buffers for SuggestIndex.
 	means, stds []float64
+
+	// tracer receives dabo.fit / dabo.degraded events tagged with scope
+	// ("hw" or "sw"); nil disables. Tracing never changes suggestions.
+	tracer obs.Tracer
+	scope  string
 }
 
 // DABOOption configures a DABO instance.
@@ -64,6 +71,19 @@ func WithRefitEvery(n int) DABOOption { return func(d *DABO) { d.refitEvery = n 
 
 // WithNoise sets the surrogate's observation noise variance (default 1e-4).
 func WithNoise(v float64) DABOOption { return func(d *DABO) { d.noise = v } }
+
+// WithTracer attaches a tracer that receives one dabo.fit event per
+// surrogate refit (duration, observation counts, and the fit outcome)
+// and a dabo.degraded event if repeated fit failures demote the
+// optimizer to random suggestion. scope tags the events with which
+// search level this optimizer drives ("hw" or "sw"). Tracing is
+// observe-only.
+func WithTracer(tr obs.Tracer, scope string) DABOOption {
+	return func(d *DABO) {
+		d.tracer = tr
+		d.scope = scope
+	}
+}
 
 // NewDABO returns a daBO optimizer using the given kernel. The paper's
 // configuration is a linear kernel (gp.Linear); §VII-D also evaluates
@@ -227,9 +247,26 @@ func (d *DABO) ensureFit() error {
 	if len(d.x)+len(d.invalid) == 0 {
 		return gp.ErrNoData
 	}
+	traced := obs.Enabled(d.tracer)
+	var fitStart time.Time
+	if traced {
+		fitStart = obs.Now()
+	}
 	err := d.refit()
+	if traced {
+		e := obs.Event{Type: obs.DABOFit, Scope: d.scope, Detail: "ok",
+			DurMS: obs.MS(obs.Since(fitStart)),
+			N:     len(d.x) + len(d.invalid), Value: float64(len(d.invalid))}
+		if err != nil {
+			e.Detail = err.Error()
+		}
+		d.tracer.Emit(e)
+	}
 	if err != nil {
 		d.fitAttempts++
+		if traced && d.Degraded() {
+			d.tracer.Emit(obs.Event{Type: obs.DABODegraded, Scope: d.scope})
+		}
 		return err
 	}
 	d.fitAttempts = 0

@@ -95,7 +95,7 @@ func (s *Spotlight) SWBudget(cfg RunConfig) int { return cfg.SWSamples }
 // NewHW implements Strategy.
 func (s *Spotlight) NewHW(cfg RunConfig, rng *rand.Rand) HWProposer {
 	return &spotlightHW{
-		dabo:     NewDABO(s.kernel(), rng, WithKappa(s.kappa())),
+		dabo:     NewDABO(s.kernel(), rng, WithKappa(s.kappa()), WithTracer(cfg.Tracer, "hw")),
 		features: FeaturesFor(s.Mode, true),
 		space:    cfg.Space,
 		budget:   cfg.Budget,
@@ -153,7 +153,7 @@ func (s *Spotlight) NewSW(cfg RunConfig, rng *rand.Rand, a hw.Accel, l workload.
 		}
 	}
 	sw := &spotlightSW{
-		dabo:        NewDABO(s.kernel(), rng, WithKappa(s.kappa())),
+		dabo:        NewDABO(s.kernel(), rng, WithKappa(s.kappa()), WithTracer(cfg.Tracer, "sw")),
 		features:    FeaturesFor(s.Mode, false),
 		constraints: constraints,
 		accel:       a,

@@ -1,7 +1,11 @@
 package eval
 
 import (
+	"io"
 	"testing"
+
+	"spotlight/internal/core"
+	"spotlight/internal/obs"
 )
 
 // BenchmarkEvalCache measures the memo cache against the bare analytical
@@ -65,4 +69,46 @@ func BenchmarkEvalCache(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkTraceOverhead measures what tracing costs an evaluation
+// pipeline. "untraced" is the baseline (no trace layer at all), "nil"
+// has the layer with a nil tracer (the always-off configuration every
+// production run without -trace pays: one branch), "nop" uses the
+// disabled obs.Nop sink through the same branch, and "jsonl" streams
+// every event to an io.Discard-backed JSONL sink — the full cost of
+// -trace minus the disk. The acceptance bar is nil/nop within noise of
+// untraced; CI runs this with -benchtime=1x as a smoke test.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const keys = 256
+	trs := randomTriples(9, keys)[:keys]
+	run := func(b *testing.B, pipe *Pipeline) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := trs[i%keys]
+			pipe.Evaluate(tr.a, tr.s, tr.l)
+		}
+	}
+	b.Run("untraced", func(b *testing.B) {
+		run(b, MustFromSpec("maestro", SpecOptions{}))
+	})
+	b.Run("nil", func(b *testing.B) {
+		run(b, Chain(mustOpen(b, "maestro"), WithTrace(nil)))
+	})
+	b.Run("nop", func(b *testing.B) {
+		run(b, Chain(mustOpen(b, "maestro"), WithTrace(obs.Nop)))
+	})
+	b.Run("jsonl", func(b *testing.B) {
+		run(b, MustFromSpec("maestro", SpecOptions{Tracer: obs.NewJSONL(io.Discard)}))
+	})
+}
+
+// mustOpen opens a registered backend or fails the benchmark.
+func mustOpen(b *testing.B, name string) core.Evaluator {
+	b.Helper()
+	backend, err := Open(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return backend
 }

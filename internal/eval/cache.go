@@ -8,6 +8,7 @@ import (
 	"spotlight/internal/core"
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
+	"spotlight/internal/obs"
 	"spotlight/internal/sched"
 	"spotlight/internal/workload"
 )
@@ -121,7 +122,14 @@ type Cache struct {
 	misses    atomic.Int64
 	coalesced atomic.Int64
 	entries   atomic.Int64
+
+	tr obs.Tracer // emits cache.hit/miss/leaderpanic; nil disables
 }
+
+// SetTracer attaches a tracer that receives one event per cache hit,
+// miss, and leader panic. Call it before evaluation begins (FromSpec
+// does); the field is not synchronized against in-flight Evaluate calls.
+func (c *Cache) SetTracer(tr obs.Tracer) { c.tr = tr }
 
 // WithCache returns the memo-cache middleware.
 func WithCache() Middleware {
@@ -160,6 +168,9 @@ func (c *Cache) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestr
 			}
 			if e.keep {
 				c.hits.Add(1)
+				if obs.Enabled(c.tr) {
+					c.tr.Emit(obs.Event{Type: obs.CacheHit})
+				}
 				return e.cost, e.err
 			}
 			// The leader's outcome was not memoizable (transient fault,
@@ -188,6 +199,9 @@ func (c *Cache) lead(shard *cacheShard, key Key, e *cacheEntry,
 			delete(shard.m, key)
 			shard.mu.Unlock()
 			close(e.done)
+			if obs.Enabled(c.tr) {
+				c.tr.Emit(obs.Event{Type: obs.CachePanic})
+			}
 		}
 	}()
 	cost, err := c.inner.Evaluate(a, s, l)
@@ -203,6 +217,9 @@ func (c *Cache) lead(shard *cacheShard, key Key, e *cacheEntry,
 		shard.mu.Unlock()
 	}
 	c.misses.Add(1)
+	if obs.Enabled(c.tr) {
+		c.tr.Emit(obs.Event{Type: obs.CacheMiss})
+	}
 	close(e.done)
 	return cost, err
 }

@@ -7,6 +7,7 @@ import (
 
 	"spotlight/internal/core"
 	"spotlight/internal/maestro"
+	"spotlight/internal/obs"
 	"spotlight/internal/resilience"
 	"spotlight/internal/sim"
 	"spotlight/internal/timeloop"
@@ -29,6 +30,7 @@ type GuardOptions struct {
 	Retries int           // retries for transient faults
 	Backoff time.Duration // base retry backoff, doubling per attempt
 	Seed    int64         // decorrelates backoff jitter across runs
+	Tracer  obs.Tracer    // receives guard.retry/guard.timeout events; nil disables
 }
 
 // configured reports whether the options ask for more than the
@@ -47,6 +49,7 @@ func WithGuard(opts GuardOptions) Middleware {
 			Retries: opts.Retries,
 			Backoff: opts.Backoff,
 			Seed:    opts.Seed,
+			Tracer:  opts.Tracer,
 		}
 	}
 }
@@ -63,6 +66,13 @@ type SpecOptions struct {
 	// the spec does not name one, so callers that report statistics
 	// always have a layer to read.
 	EnsureStats bool
+	// Tracer, when set, threads trace emission through the whole
+	// pipeline: a trace layer is inserted innermost (so, like stats, it
+	// times true backend work — cache hits never reach it), the cache
+	// and stats layers report their events to it, and any guard layer
+	// reports retries and timeouts. Tracing is observe-only: a traced
+	// pipeline returns bit-identical results to an untraced one.
+	Tracer obs.Tracer
 }
 
 // FromSpec builds a pipeline from a comma-separated spec string: the
@@ -76,6 +86,9 @@ type SpecOptions struct {
 // An unknown backend name returns *UnknownBackendError; an unknown
 // middleware token returns a plain error naming the valid tokens.
 func FromSpec(spec string, opts SpecOptions) (*Pipeline, error) {
+	if opts.Guard.Tracer == nil {
+		opts.Guard.Tracer = opts.Tracer // the pipeline tracer covers the guard too
+	}
 	parts := strings.Split(spec, ",")
 	name := strings.TrimSpace(parts[0])
 	if name == "" {
@@ -107,11 +120,22 @@ func FromSpec(spec string, opts SpecOptions) (*Pipeline, error) {
 	if opts.EnsureStats && !hasStats {
 		mws = append([]Middleware{WithStats()}, mws...)
 	}
+	if obs.Enabled(opts.Tracer) {
+		mws = append([]Middleware{WithTrace(opts.Tracer)}, mws...)
+	}
 	if opts.Guard.configured() && !hasGuard {
 		mws = append(mws, WithGuard(opts.Guard))
 	}
 	p := Chain(backend, mws...)
 	p.spec = spec
+	if obs.Enabled(opts.Tracer) {
+		if p.cache != nil {
+			p.cache.SetTracer(opts.Tracer)
+		}
+		if p.stats != nil {
+			p.stats.SetTracer(opts.Tracer)
+		}
+	}
 	return p, nil
 }
 

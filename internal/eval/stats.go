@@ -1,9 +1,9 @@
 package eval
 
 import (
-	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +11,7 @@ import (
 	"spotlight/internal/core"
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
+	"spotlight/internal/obs"
 	"spotlight/internal/sched"
 	"spotlight/internal/workload"
 )
@@ -38,6 +39,8 @@ type Stats struct {
 
 	eventMu sync.Mutex
 	events  map[string]int64
+
+	tr obs.Tracer // forwards backend path events; nil disables
 }
 
 // WithStats returns the stats middleware.
@@ -52,15 +55,18 @@ func WithStats() Middleware {
 func (st *Stats) Name() string { return st.inner.Name() }
 
 // Evaluate implements core.Evaluator, counting the call and its outcome.
+// Latency is an observability counter: it is reported, never fed back
+// into the search, and the wall-clock read goes through obs — the one
+// package sanctioned to touch the clock.
 func (st *Stats) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
-	start := time.Now() //lint:allow wallclock(latency is an observability counter; it is reported, never fed back into the search)
+	start := obs.Now()
 	cost, err := st.inner.Evaluate(a, s, l)
-	st.latencyNS.Add(int64(time.Since(start))) //lint:allow wallclock(latency is an observability counter; it is reported, never fed back into the search)
+	st.latencyNS.Add(int64(obs.Since(start)))
 	st.evals.Add(1)
-	switch {
-	case err == nil:
+	switch Outcome(err) {
+	case OutcomeOK:
 		st.ok.Add(1)
-	case errors.Is(err, maestro.ErrInvalid):
+	case OutcomeInvalid:
 		st.invalid.Add(1)
 	default:
 		st.errs.Add(1)
@@ -69,12 +75,22 @@ func (st *Stats) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maest
 }
 
 // Event implements sim.EventSink: named backend events are tallied into
-// the snapshot's Events map.
+// the snapshot's Events map and, when a tracer is attached, forwarded as
+// backend.path trace events — counters and traces share this one entry
+// point, so the two can never disagree about what the backend did.
 func (st *Stats) Event(name string) {
 	st.eventMu.Lock()
 	st.events[name]++
 	st.eventMu.Unlock()
+	if obs.Enabled(st.tr) {
+		st.tr.Emit(obs.Event{Type: obs.BackendPath, Detail: name})
+	}
 }
+
+// SetTracer attaches a tracer that receives one backend.path event per
+// backend event. Call it before evaluation begins (FromSpec does); the
+// field is not synchronized against in-flight Evaluate calls.
+func (st *Stats) SetTracer(tr obs.Tracer) { st.tr = tr }
 
 // StatsSnapshot is a point-in-time view of the stats counters.
 type StatsSnapshot struct {
@@ -106,10 +122,16 @@ func (s StatsSnapshot) EventNames() []string {
 	return names
 }
 
-// String renders the snapshot compactly.
+// String renders the snapshot compactly, including any backend events in
+// sorted name order.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("%s: evals=%d ok=%d invalid=%d errors=%d avg=%s",
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: evals=%d ok=%d invalid=%d errors=%d avg=%s",
 		s.Backend, s.Evals, s.OK, s.Invalid, s.Errors, s.AvgLatency())
+	for _, name := range s.EventNames() {
+		fmt.Fprintf(&b, " %s=%d", name, s.Events[name])
+	}
+	return b.String()
 }
 
 // Snapshot returns the current counters. The Events map is a copy.

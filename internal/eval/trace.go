@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"errors"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/obs"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// Outcome classifications shared by the trace middleware and the stats
+// layer, so "what counts as invalid" is defined exactly once.
+const (
+	OutcomeOK      = "ok"      // evaluation succeeded
+	OutcomeInvalid = "invalid" // error wrapping maestro.ErrInvalid: infeasible point
+	OutcomeError   = "error"   // any other fault (timeout, panic, transient)
+)
+
+// Outcome classifies an evaluation result the way every counter and
+// trace event reports it.
+func Outcome(err error) string {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, maestro.ErrInvalid):
+		return OutcomeInvalid
+	default:
+		return OutcomeError
+	}
+}
+
+// Trace is the trace middleware: it emits one obs.EvalDone event per
+// call that reaches its inner evaluator, carrying the measured duration
+// and the outcome classification. FromSpec places it directly above the
+// backend, so — like the stats layer — it records true backend work:
+// cache hits never reach it. It is observe-only and therefore
+// name-transparent, exactly like cache and stats.
+type Trace struct {
+	inner core.Evaluator
+	tr    obs.Tracer
+}
+
+// WithTrace returns the trace middleware. A nil (or disabled) tracer
+// makes the layer a pure pass-through with one branch of overhead.
+func WithTrace(tr obs.Tracer) Middleware {
+	return func(inner core.Evaluator) core.Evaluator {
+		return &Trace{inner: inner, tr: tr}
+	}
+}
+
+// Name implements core.Evaluator; tracing never changes results, so it
+// is transparent in the name (and the checkpoint fingerprint).
+func (t *Trace) Name() string { return t.inner.Name() }
+
+// Evaluate implements core.Evaluator.
+func (t *Trace) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	if !obs.Enabled(t.tr) {
+		return t.inner.Evaluate(a, s, l)
+	}
+	start := obs.Now()
+	cost, err := t.inner.Evaluate(a, s, l)
+	t.tr.Emit(obs.Event{
+		Type:   obs.EvalDone,
+		DurMS:  obs.MS(obs.Since(start)),
+		Detail: Outcome(err),
+	})
+	return cost, err
+}

@@ -23,6 +23,7 @@ import (
 	"spotlight/internal/core"
 	"spotlight/internal/eval"
 	"spotlight/internal/hw"
+	"spotlight/internal/obs"
 	"spotlight/internal/pool"
 	"spotlight/internal/stats"
 	"spotlight/internal/workload"
@@ -52,6 +53,15 @@ type Config struct {
 	// changes. The artifact appendix notes the paper's own runs were
 	// parallelized across a cluster the same way.
 	Parallel bool
+	// Workers bounds how many layers each run optimizes concurrently
+	// within one hardware sample (core.RunConfig.Workers). Results are
+	// bit-identical at every setting; 0 means GOMAXPROCS, 1 sequential.
+	Workers int
+	// Tracer receives structured trace events from every run this config
+	// drives (core.RunConfig.Tracer) and from the evaluation pipeline
+	// built from EvalSpec. Tracing is observe-only: every CSV is
+	// byte-identical with it on or off.
+	Tracer obs.Tracer
 }
 
 // Default returns the scaled-down configuration used by tests and the
@@ -96,7 +106,7 @@ func (c Config) normalized() (Config, error) {
 		if spec == "" {
 			spec = "maestro"
 		}
-		p, err := eval.FromSpec(spec, eval.SpecOptions{EnsureStats: true})
+		p, err := eval.FromSpec(spec, eval.SpecOptions{EnsureStats: true, Tracer: c.Tracer})
 		if err != nil {
 			return c, err
 		}
@@ -147,6 +157,8 @@ func (c Config) runConfig(models []workload.Model, trial int) (core.RunConfig, e
 		SWSamples: c.SWSamples,
 		Seed:      c.Seed + int64(trial)*7919, // distinct, reproducible per trial
 		Eval:      c.Eval,
+		Workers:   c.Workers,
+		Tracer:    c.Tracer,
 	}, nil
 }
 

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a registry (and the runtime profiler) over HTTP for
+// live introspection of a running search. It is started by the CLIs'
+// -metrics-addr flag.
+type Server struct {
+	// Addr is the bound address, useful when the caller asked for ":0".
+	Addr string
+	srv  *http.Server
+}
+
+// Serve binds addr and serves, in a background goroutine:
+//
+//	/metrics        the registry snapshot as indented JSON
+//	/debug/pprof/*  the standard Go profiling handlers
+//
+// The handlers are mounted on a private mux — nothing is registered on
+// http.DefaultServeMux — and Close shuts the listener down.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// The snapshot is consistent per metric; an error here means the
+		// client hung up, which is its problem, not the run's.
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), srv: srv}
+	go func() {
+		// ErrServerClosed after Close; any other error just ends the
+		// introspection endpoint, never the search.
+		_ = srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryBasics covers get-or-create identity and the three metric
+// kinds.
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("evals")
+	c.Add(2)
+	r.Counter("evals").Add(3)
+	if got := r.Counter("evals").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	r.Gauge("best").Set(1.5)
+	if got := r.Gauge("best").Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	h := r.Histogram("fit")
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 2 || s.SumMS != 6 || s.MinMS != 2 || s.MaxMS != 4 || s.AvgMS != 3 {
+		t.Fatalf("histogram snapshot = %+v", s)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 2 {
+		t.Fatalf("bucket counts sum to %d, want 2", total)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// the totals must come out exact (the race detector checks the rest).
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.MinMS != 0.001 || s.MaxMS != 0.008 {
+		t.Fatalf("min/max = %v/%v ms, want 0.001/0.008", s.MinMS, s.MaxMS)
+	}
+}
+
+// TestMetricsTracer: events become counters, durations become
+// histograms, search progress becomes gauges.
+func TestMetricsTracer(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewMetricsTracer(reg)
+	if !tr.Enabled() {
+		t.Fatal("MetricsTracer must be enabled")
+	}
+	tr.Emit(Event{Type: CacheHit})
+	tr.Emit(Event{Type: CacheHit})
+	tr.Emit(Event{Type: EvalDone, Detail: "ok", DurMS: 2})
+	tr.Emit(Event{Type: HWPropose, Sample: 7, Detail: "a"})
+	tr.Emit(Event{Type: Incumbent, Sample: 7, Value: 42.5})
+
+	if got := reg.Counter("trace.cache.hit").Value(); got != 2 {
+		t.Errorf("trace.cache.hit = %d, want 2", got)
+	}
+	if got := reg.Histogram("dur.eval.done").Count(); got != 1 {
+		t.Errorf("dur.eval.done count = %d, want 1", got)
+	}
+	if got := reg.Gauge("search.best_objective").Value(); got != 42.5 {
+		t.Errorf("search.best_objective = %v, want 42.5", got)
+	}
+	if got := reg.Gauge("search.sample").Value(); got != 7 {
+		t.Errorf("search.sample = %v, want 7", got)
+	}
+}
+
+// TestRegistryJSONDeterministic: two identical registries export
+// byte-identical JSON (map keys are sorted by the encoder).
+func TestRegistryJSONDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Add(1)
+		}
+		var b strings.Builder
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]string{"a", "b", "c", "d"})
+	b := build([]string{"d", "c", "b", "a"})
+	if a != b {
+		t.Fatalf("JSON export depends on creation order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestServeMetricsAndPprof boots the introspection server on a loopback
+// port and checks both endpoints answer — the acceptance criterion for
+// -metrics-addr.
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("trace.eval.done").Add(3)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	if snap.Counters["trace.eval.done"] != 3 {
+		t.Fatalf("/metrics counters = %+v, want trace.eval.done=3", snap.Counters)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(string(body), "profile") {
+		t.Fatalf("/debug/pprof/ index looks wrong: %.80s", body)
+	}
+	get("/debug/pprof/cmdline")
+}

@@ -1,0 +1,77 @@
+package obs
+
+// Telemetry bundles the sinks a CLI run wires up from its -trace and
+// -metrics-addr flags: a JSONL trace file, a metrics registry with its
+// HTTP introspection server, or both, behind one Tracer handle.
+type Telemetry struct {
+	// Tracer fans events out to every configured sink; nil when neither
+	// flag was given, which every instrumentation site treats as "off".
+	Tracer Tracer
+	// Addr is the bound metrics address ("" when -metrics-addr is off);
+	// useful to print, especially when the caller asked for ":0".
+	Addr string
+
+	jsonl  *JSONL
+	srv    *Server
+	events int64 // trace event count, preserved across Close for exit reporting
+}
+
+// StartTelemetry opens the sinks the two flag values ask for. Either
+// argument may be empty; with both empty the returned Telemetry is
+// inert (nil Tracer) and Close is a no-op, so callers need no
+// conditionals around the flag plumbing.
+func StartTelemetry(tracePath, metricsAddr string) (*Telemetry, error) {
+	t := &Telemetry{}
+	var sinks []Tracer
+	if tracePath != "" {
+		j, err := CreateJSONL(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		t.jsonl = j
+		sinks = append(sinks, j)
+	}
+	if metricsAddr != "" {
+		reg := NewRegistry()
+		srv, err := Serve(metricsAddr, reg)
+		if err != nil {
+			if t.jsonl != nil {
+				t.jsonl.Close()
+			}
+			return nil, err
+		}
+		t.srv = srv
+		t.Addr = srv.Addr
+		sinks = append(sinks, NewMetricsTracer(reg))
+	}
+	t.Tracer = Tee(sinks...)
+	return t, nil
+}
+
+// Events returns how many events the trace file received (0 without
+// -trace). It keeps answering after Close, so exit paths can close the
+// sink first and report the final count second.
+func (t *Telemetry) Events() int64 {
+	if t.jsonl == nil {
+		return t.events
+	}
+	return t.jsonl.Events()
+}
+
+// Close flushes and closes the trace file and stops the metrics server.
+// The returned error is the trace sink's sticky write error, if any —
+// the one failure worth surfacing, since it means the trace on disk is
+// incomplete.
+func (t *Telemetry) Close() error {
+	if t.srv != nil {
+		t.srv.Close()
+		t.srv = nil
+	}
+	if t.jsonl == nil {
+		return nil
+	}
+	t.events = t.jsonl.Events()
+	err := t.jsonl.Close()
+	t.jsonl = nil
+	return err
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestTelemetryInertWithoutFlags(t *testing.T) {
+	tele, err := StartTelemetry("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tele.Tracer != nil {
+		t.Error("Tracer should be nil with both flags empty")
+	}
+	if tele.Addr != "" {
+		t.Errorf("Addr = %q, want empty", tele.Addr)
+	}
+	if err := tele.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestTelemetryEventsSurvivesClose pins the CLI exit-path contract: the
+// deferred handler closes the sink first (to learn the sticky write
+// error) and reports the event count second, so Events must keep
+// answering after Close.
+func TestTelemetryEventsSurvivesClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tele, err := StartTelemetry(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele.Tracer.Emit(Event{Type: CacheHit})
+	tele.Tracer.Emit(Event{Type: CacheMiss})
+	if err := tele.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := tele.Events(); got != 2 {
+		t.Errorf("Events after Close = %d, want 2", got)
+	}
+}
+
+func TestTelemetryMetricsOnly(t *testing.T) {
+	tele, err := StartTelemetry("", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+	if tele.Addr == "" {
+		t.Error("Addr should be the bound address")
+	}
+	if !Enabled(tele.Tracer) {
+		t.Error("Tracer should be live with -metrics-addr set")
+	}
+	if got := tele.Events(); got != 0 {
+		t.Errorf("Events = %d, want 0 without a trace file", got)
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"spotlight/internal/obs"
 )
 
 // WorkerPanic is the value re-raised by Run/RunCtx on the calling
@@ -115,6 +117,25 @@ func RunCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 		return ctx.Err()
 	}
 	return nil
+}
+
+// RunCtxTraced is RunCtx with trace emission: one pool.queue event for
+// the batch, and a pool.start / pool.done pair (the latter carrying the
+// invocation's duration) around every fn(i). With a nil or disabled
+// tracer it is exactly RunCtx — one branch, no wrapping — so callers
+// thread their tracer through unconditionally. Tracing is observe-only:
+// it never changes which indices run or what fn observes.
+func RunCtxTraced(ctx context.Context, n, workers int, tr obs.Tracer, fn func(i int)) error {
+	if !obs.Enabled(tr) {
+		return RunCtx(ctx, n, workers, fn)
+	}
+	tr.Emit(obs.Event{Type: obs.PoolQueue, N: n})
+	return RunCtx(ctx, n, workers, func(i int) {
+		tr.Emit(obs.Event{Type: obs.PoolStart, N: i})
+		start := obs.Now()
+		fn(i)
+		tr.Emit(obs.Event{Type: obs.PoolDone, N: i, DurMS: obs.MS(obs.Since(start))})
+	})
 }
 
 // invoke runs fn(i) with panic containment, recording the first panic

@@ -27,6 +27,7 @@ import (
 
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
+	"spotlight/internal/obs"
 	"spotlight/internal/sched"
 	"spotlight/internal/workload"
 )
@@ -81,6 +82,10 @@ type Guard struct {
 	// IsTransient classifies errors worth retrying; nil means
 	// errors.Is(err, ErrTransient).
 	IsTransient func(error) bool
+	// Tracer, when set, receives one guard.retry event per retried fault
+	// and one guard.timeout event per abandoned call. Tracing is
+	// observe-only: it never changes what the guard returns.
+	Tracer obs.Tracer
 }
 
 // Name implements Evaluator.
@@ -96,6 +101,9 @@ func (g *Guard) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestr
 		cost, err := g.attempt(a, s, l)
 		if err == nil || attempt >= g.Retries || !transient(err) {
 			return cost, err
+		}
+		if obs.Enabled(g.Tracer) {
+			g.Tracer.Emit(obs.Event{Type: obs.GuardRetry, N: attempt + 1, Detail: err.Error()})
 		}
 		g.backoff(a, s, l, attempt)
 	}
@@ -122,6 +130,10 @@ func (g *Guard) attempt(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro
 	case o := <-ch:
 		return o.cost, o.err
 	case <-timer.C:
+		if obs.Enabled(g.Tracer) {
+			g.Tracer.Emit(obs.Event{Type: obs.GuardTimeout,
+				DurMS: obs.MS(g.Timeout), Detail: g.Timeout.String()})
+		}
 		return maestro.Cost{}, fmt.Errorf("resilience: evaluation exceeded %v: %w", g.Timeout, ErrTimeout)
 	}
 }
