@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race chaos tracesmoke ci
+.PHONY: all build test lint vet fmt race chaos tracesmoke batchsmoke bench ci
 
 all: build test lint
 
@@ -44,4 +44,58 @@ tracesmoke:
 	/tmp/tracestat -check /tmp/run.jsonl
 	/tmp/tracestat /tmp/run.jsonl
 
-ci: lint build test race chaos tracesmoke
+# batchsmoke proves the batching invariant end to end through the CLI:
+# fig6 CSVs are byte-identical batched vs unbatched (-nobatch), at 1 and
+# 8 workers, traced or untraced, and the batched trace (which carries
+# eval.batch events) passes schema validation. Mirrors the CI step.
+batchsmoke:
+	$(GO) test -run=NONE -bench 'BenchmarkMaestroEvaluateBatch|BenchmarkTransformerLayerSearch' -benchtime=1x .
+	$(GO) build -o /tmp/experiments ./cmd/experiments
+	$(GO) build -o /tmp/tracestat ./cmd/tracestat
+	/tmp/experiments -fig 6 -models MobileNetV2 -hw 4 -sw 6 -trials 1 -workers 1 -out /tmp/batched1
+	/tmp/experiments -fig 6 -models MobileNetV2 -hw 4 -sw 6 -trials 1 -workers 8 -out /tmp/batched8 -trace /tmp/batched.jsonl
+	/tmp/experiments -fig 6 -models MobileNetV2 -hw 4 -sw 6 -trials 1 -workers 1 -nobatch -out /tmp/unbatched1
+	/tmp/experiments -fig 6 -models MobileNetV2 -hw 4 -sw 6 -trials 1 -workers 8 -nobatch -out /tmp/unbatched8
+	cmp /tmp/batched1/fig6.csv /tmp/unbatched1/fig6.csv
+	cmp /tmp/batched1/fig6.csv /tmp/batched8/fig6.csv
+	cmp /tmp/batched1/fig6.csv /tmp/unbatched8/fig6.csv
+	/tmp/tracestat -check /tmp/batched.jsonl
+	/tmp/tracestat /tmp/batched.jsonl
+
+# bench runs the batching benchmarks at measurement length and records
+# them in BENCH_6.json next to the frozen pre-batching baseline (the
+# "before" block below was measured at the seed of the batching change
+# on the reference CI-class host).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMaestroEvaluate$$|BenchmarkMaestroEvaluateBatch' -benchmem -benchtime=1s -count=1 . | tee /tmp/bench6.txt
+	awk 'BEGIN { batch_n = 64 } \
+	  /^BenchmarkMaestroEvaluate[-\t ]/                  { ev_ns = $$3 } \
+	  /^BenchmarkMaestroEvaluateBatch\/batch[-\t ]/      { b_ns = $$3; b_allocs = $$7 } \
+	  /^BenchmarkMaestroEvaluateBatch\/sequential[-\t ]/ { s_ns = $$3; s_allocs = $$7 } \
+	  END { \
+	    printf "{\n"; \
+	    printf "  \"issue\": 6,\n"; \
+	    printf "  \"title\": \"batched, allocation-free cost evaluation\",\n"; \
+	    printf "  \"batch_size\": %d,\n", batch_n; \
+	    printf "  \"before\": {\n"; \
+	    printf "    \"note\": \"pre-batching seed, measured on the same host class\",\n"; \
+	    printf "    \"maestro_evaluate_ns_per_op\": 402.4,\n"; \
+	    printf "    \"maestro_evaluate_allocs_per_op\": 0,\n"; \
+	    printf "    \"sequential_64_evals_ns\": 25754,\n"; \
+	    printf "    \"eval_cache_hit_ns_per_op\": 596.6,\n"; \
+	    printf "    \"eval_cache_hit_allocs_per_op\": 0\n"; \
+	    printf "  },\n"; \
+	    printf "  \"after\": {\n"; \
+	    printf "    \"maestro_evaluate_ns_per_op\": %s,\n", ev_ns; \
+	    printf "    \"batch_64_ns_per_op\": %s,\n", b_ns; \
+	    printf "    \"batch_64_allocs_per_op\": %s,\n", b_allocs; \
+	    printf "    \"sequential_64_ns_per_op\": %s,\n", s_ns; \
+	    printf "    \"sequential_64_allocs_per_op\": %s,\n", s_allocs; \
+	    printf "    \"throughput_ratio\": %.2f,\n", s_ns / b_ns; \
+	    printf "    \"allocs_ratio\": %.1f\n", (s_allocs + 0) / (b_allocs + 0); \
+	    printf "  }\n"; \
+	    printf "}\n"; \
+	  }' /tmp/bench6.txt > BENCH_6.json
+	cat BENCH_6.json
+
+ci: lint build test race chaos tracesmoke batchsmoke

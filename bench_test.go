@@ -269,6 +269,67 @@ func BenchmarkMaestroEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkMaestroEvaluateBatch compares the batched fast path against
+// per-call Evaluate at a search-round-shaped batch size: the same 64
+// candidate schedules for one (accelerator, layer) pair, either through
+// one EvaluateBatch call (per-layer setup amortized, errors built
+// lazily) or 64 Evaluate calls. Run with -benchmem; the acceptance bar
+// (BENCH_6.json) is ≥2× items/sec and ≥5× fewer allocs/op batched.
+func BenchmarkMaestroEvaluateBatch(b *testing.B) {
+	m := maestro.New()
+	a := hw.EyerissEdge().Accel
+	l := workload.ResNet50().Layers[6]
+	rng := rand.New(rand.NewSource(1))
+	free := sched.Free()
+	const batch = 64
+	ss := make([]sched.Schedule, batch)
+	for i := range ss {
+		ss[i] = free.Random(rng, l, a.RFBytesPerPE(), a.L2Bytes())
+		if i%7 == 3 { // salt with capacity-invalid candidates, as real rounds have
+			ss[i].T2[workload.DimK] = l.K + 1
+		}
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = m.EvaluateBatch(a, ss, l)
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range ss {
+				_, _ = m.Evaluate(a, s, l)
+			}
+		}
+	})
+}
+
+// BenchmarkTransformerLayerSearch is the ROADMAP item 5 end-to-end
+// measurement: one full per-layer software search over the Transformer's
+// layers (the workload whose GEMM-heavy shapes made per-call evaluation
+// the bottleneck), batched versus sequential candidate evaluation.
+// Results are bit-identical; only throughput differs.
+func BenchmarkTransformerLayerSearch(b *testing.B) {
+	for _, nobatch := range []bool{false, true} {
+		name := "batched"
+		if nobatch {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchCfg("Transformer")
+			cfg.HWSamples = 2
+			cfg.SWSamples = 64
+			cfg.DisableBatch = nobatch
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				_, err := exp.Fig6(cfg)
+				tolerate(b, err)
+			}
+		})
+	}
+}
+
 // BenchmarkTimeloopEvaluate measures the second model's evaluation
 // latency.
 func BenchmarkTimeloopEvaluate(b *testing.B) {

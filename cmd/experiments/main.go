@@ -48,6 +48,8 @@ func run() error {
 		objective = flag.String("objective", "delay", "objective for Figure 6/10/11: delay or edp")
 		outDir    = flag.String("out", "results", "directory for CSV output")
 		parallel  = flag.Bool("parallel", false, "run independent trials concurrently")
+		workers   = flag.Int("workers", 0, "concurrent layer searches per hardware sample (0 = GOMAXPROCS, 1 = sequential; results are bit-identical at every setting)")
+		noBatch   = flag.Bool("nobatch", false, "disable the batched candidate-evaluation fast path (results are bit-identical either way; for A/B verification and bisecting)")
 		evalSpec  = flag.String("eval", "maestro",
 			"evaluation pipeline spec: backend[,middleware...] — backends: "+
 				strings.Join(eval.Backends(), ", ")+"; middlewares: cache, guard, stats")
@@ -88,6 +90,8 @@ func run() error {
 		cfg.Trials = *trials
 	}
 	cfg.Parallel = *parallel
+	cfg.Workers = *workers
+	cfg.DisableBatch = *noBatch
 	if *models != "" {
 		for _, m := range strings.Split(*models, ",") {
 			cfg.Models = append(cfg.Models, strings.TrimSpace(m))

@@ -109,6 +109,7 @@ func summarize(r io.Reader, w io.Writer) error {
 	durCount := map[obs.EventType]int{}
 	evalOutcomes := map[string]int{}
 	backendPaths := map[string]int{}
+	var batchCalls, batchedItems int
 	var tool string
 	var budgeted, completed int
 	type improvement struct {
@@ -131,6 +132,9 @@ func summarize(r io.Reader, w io.Writer) error {
 			conv = append(conv, improvement{sample: e.Sample, best: e.Value})
 		case obs.EvalDone:
 			evalOutcomes[e.Detail]++
+		case obs.EvalBatch:
+			batchCalls++
+			batchedItems += e.N
 		case obs.BackendPath:
 			backendPaths[e.Detail]++
 		}
@@ -183,6 +187,10 @@ func summarize(r io.Reader, w io.Writer) error {
 	}
 	if len(evalOutcomes) > 0 {
 		fmt.Fprintf(w, "evals: %s\n", formatCounts(evalOutcomes))
+	}
+	if batchCalls > 0 {
+		fmt.Fprintf(w, "batches: %d eval.batch calls covering %d evaluations (mean batch size %.1f)\n",
+			batchCalls, batchedItems, float64(batchedItems)/float64(batchCalls))
 	}
 	if len(backendPaths) > 0 {
 		fmt.Fprintf(w, "backend paths: %s\n", formatCounts(backendPaths))

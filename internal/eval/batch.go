@@ -1,0 +1,248 @@
+package eval
+
+import (
+	"errors"
+	"sync"
+
+	"spotlight/internal/core"
+	"spotlight/internal/hw"
+	"spotlight/internal/maestro"
+	"spotlight/internal/obs"
+	"spotlight/internal/sched"
+	"spotlight/internal/workload"
+)
+
+// BatchEvaluator is the batch fast path of the evaluator contract; see
+// core.BatchEvaluator for the full semantics (positional results,
+// bit-identity with per-item Evaluate, concurrency safety). The alias
+// exists so eval-facing code can name the interface without importing
+// core directly.
+type BatchEvaluator = core.BatchEvaluator
+
+// EvaluateBatch implements core.BatchEvaluator by delegating to the
+// outermost layer of the chain. Each batch-aware layer forwards the
+// whole batch inward; the first layer without a batch path (e.g. the
+// resilience guard, or the timeloop/sim backends) degrades the rest of
+// the chain to per-item Evaluate calls via core.EvaluateBatch's
+// fallback loop. Either way the results are bit-identical, so every
+// FromSpec composition keeps working unchanged.
+func (p *Pipeline) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	return core.EvaluateBatch(p.outer, a, ss, l)
+}
+
+// EvaluateBatch implements core.BatchEvaluator for the stats layer: one
+// latency sample covering the whole batch, per-item outcome counting,
+// and len(ss) evals. Counters are tallied locally and published with
+// one atomic add per counter, so a batch costs four atomic operations
+// instead of 4×len(ss).
+func (st *Stats) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	start := obs.Now()
+	costs, errs := core.EvaluateBatch(st.inner, a, ss, l)
+	st.latencyNS.Add(int64(obs.Since(start)))
+	st.evals.Add(int64(len(ss)))
+	var ok, invalid, failed int64
+	for _, err := range errs {
+		switch Outcome(err) {
+		case OutcomeOK:
+			ok++
+		case OutcomeInvalid:
+			invalid++
+		default:
+			failed++
+		}
+	}
+	if ok > 0 {
+		st.ok.Add(ok)
+	}
+	if invalid > 0 {
+		st.invalid.Add(invalid)
+	}
+	if failed > 0 {
+		st.errs.Add(failed)
+	}
+	return costs, errs
+}
+
+// EvaluateBatch implements core.BatchEvaluator for the trace layer: one
+// eval.done event per item (outcome only — per-item durations do not
+// exist inside a batch, so DurMS stays zero) followed by a single
+// eval.batch event carrying the batch size and the whole-batch
+// duration. tracestat reports the two together: per-item outcomes keep
+// their taxonomy, eval.batch carries the amortization signal.
+func (t *Trace) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	if !obs.Enabled(t.tr) {
+		return core.EvaluateBatch(t.inner, a, ss, l)
+	}
+	start := obs.Now()
+	costs, errs := core.EvaluateBatch(t.inner, a, ss, l)
+	dur := obs.MS(obs.Since(start))
+	for i := range errs {
+		t.tr.Emit(obs.Event{Type: obs.EvalDone, Detail: Outcome(errs[i])})
+	}
+	if len(ss) > 0 {
+		t.tr.Emit(obs.Event{Type: obs.EvalBatch, N: len(ss), DurMS: dur})
+	}
+	return costs, errs
+}
+
+// batchScratch is the reusable per-call working set of
+// Cache.EvaluateBatch: canonical keys, per-item entry pointers and role
+// flags, and the miss subset. Pooled so steady-state batched evaluation
+// allocates only the two result slices the interface requires.
+type batchScratch struct {
+	keys    []Key
+	ents    []*cacheEntry
+	flags   []uint8
+	missIdx []int
+	missSS  []sched.Schedule
+}
+
+// role flags for batchScratch.flags.
+const (
+	flagLeader   uint8 = 1 << iota // this call owns the entry and must publish it
+	flagInFlight                   // follower found the entry unresolved (counts as coalesced)
+)
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (b *batchScratch) reset(n int) {
+	if cap(b.keys) < n {
+		b.keys = make([]Key, n)
+		b.ents = make([]*cacheEntry, n)
+		b.flags = make([]uint8, n)
+	}
+	b.keys = b.keys[:n]
+	b.ents = b.ents[:n]
+	b.flags = b.flags[:n]
+	for i := 0; i < n; i++ {
+		b.ents[i] = nil
+		b.flags[i] = 0
+	}
+	b.missIdx = b.missIdx[:0]
+	b.missSS = b.missSS[:0]
+}
+
+// EvaluateBatch implements core.BatchEvaluator for the cache: the batch
+// is partitioned into memoized hits, a miss set this call leads, and
+// followers of in-flight entries (other callers' or this very batch's
+// leaders, for duplicate keys). The misses go to the inner evaluator in
+// ONE batch call; followers are resolved only after the leaders
+// publish, which is what makes in-batch duplicates safe — a follower of
+// its own batch's leader would otherwise deadlock waiting on work that
+// has not been submitted yet.
+//
+// Per-item outcomes, memoization rules (keep successes and ErrInvalid
+// verdicts, withdraw faults), counters, and trace events all match the
+// sequential path item for item. The one intentional difference is
+// bookkeeping-only: an in-batch duplicate counts as coalesced+hit here
+// where strict sequencing would count a plain hit, because the
+// duplicate genuinely waited on the in-flight leader.
+func (c *Cache) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	costs := make([]maestro.Cost, len(ss))
+	errs := make([]error, len(ss))
+	if len(ss) == 0 {
+		return costs, errs
+	}
+
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	sc.reset(len(ss))
+
+	// Phase 1: register every item, becoming leader or follower per key.
+	for i := range ss {
+		sc.keys[i] = CanonicalKey(a, ss[i], l)
+		shard := &c.shards[Fingerprint(sc.keys[i])&(cacheShards-1)]
+		shard.mu.Lock()
+		if e, ok := shard.m[sc.keys[i]]; ok {
+			shard.mu.Unlock()
+			sc.ents[i] = e
+			select {
+			case <-e.done:
+			default:
+				sc.flags[i] |= flagInFlight
+			}
+			continue
+		}
+		e := &cacheEntry{done: make(chan struct{})}
+		shard.m[sc.keys[i]] = e
+		shard.mu.Unlock()
+		sc.ents[i] = e
+		sc.flags[i] |= flagLeader
+		sc.missIdx = append(sc.missIdx, i)
+		sc.missSS = append(sc.missSS, ss[i])
+	}
+
+	// Phase 2: one inner batch call for all misses, with the same
+	// panic containment as the sequential leader: if the inner
+	// evaluator panics, every unpublished leader entry is withdrawn and
+	// released before the panic propagates, so followers retry instead
+	// of blocking forever.
+	if len(sc.missIdx) > 0 {
+		finished := false
+		missCosts, missErrs := func() ([]maestro.Cost, []error) {
+			defer func() {
+				if !finished {
+					for _, i := range sc.missIdx {
+						shard := &c.shards[Fingerprint(sc.keys[i])&(cacheShards-1)]
+						shard.mu.Lock()
+						delete(shard.m, sc.keys[i])
+						shard.mu.Unlock()
+						close(sc.ents[i].done)
+						if obs.Enabled(c.tr) {
+							c.tr.Emit(obs.Event{Type: obs.CachePanic})
+						}
+					}
+				}
+			}()
+			cs, es := core.EvaluateBatch(c.inner, a, sc.missSS, l)
+			finished = true
+			return cs, es
+		}()
+
+		// Phase 3: publish the leaders' results.
+		for j, i := range sc.missIdx {
+			e := sc.ents[i]
+			e.cost, e.err = missCosts[j], missErrs[j]
+			e.keep = e.err == nil || errors.Is(e.err, maestro.ErrInvalid)
+			if e.keep {
+				c.entries.Add(1)
+			} else {
+				shard := &c.shards[Fingerprint(sc.keys[i])&(cacheShards-1)]
+				shard.mu.Lock()
+				delete(shard.m, sc.keys[i])
+				shard.mu.Unlock()
+			}
+			c.misses.Add(1)
+			if obs.Enabled(c.tr) {
+				c.tr.Emit(obs.Event{Type: obs.CacheMiss})
+			}
+			close(e.done)
+			costs[i], errs[i] = e.cost, e.err
+		}
+	}
+
+	// Phase 4: resolve followers, now that every leader in this batch
+	// has published. A withdrawn entry (non-memoizable outcome) sends
+	// the follower through the sequential path, where it retries as a
+	// leader — exactly the sequential follower loop.
+	for i := range ss {
+		if sc.flags[i]&flagLeader != 0 {
+			continue
+		}
+		e := sc.ents[i]
+		<-e.done
+		if sc.flags[i]&flagInFlight != 0 {
+			c.coalesced.Add(1)
+		}
+		if e.keep {
+			c.hits.Add(1)
+			if obs.Enabled(c.tr) {
+				c.tr.Emit(obs.Event{Type: obs.CacheHit})
+			}
+			costs[i], errs[i] = e.cost, e.err
+			continue
+		}
+		costs[i], errs[i] = c.Evaluate(a, ss[i], l)
+	}
+	return costs, errs
+}

@@ -2,10 +2,12 @@ package eval
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"spotlight/internal/core"
 	"spotlight/internal/obs"
+	"spotlight/internal/sched"
 )
 
 // BenchmarkEvalCache measures the memo cache against the bare analytical
@@ -45,11 +47,46 @@ func BenchmarkEvalCache(b *testing.B) {
 		for _, tr := range trs {
 			pipe.Evaluate(tr.a, tr.s, tr.l)
 		}
+		// The warm path is pinned allocation-free: CanonicalKey builds
+		// the key as a value (no serialization buffer to allocate) and a
+		// hit touches nothing but the shard map.
+		tr := trs[0]
+		if avg := testing.AllocsPerRun(100, func() {
+			pipe.Evaluate(tr.a, tr.s, tr.l)
+		}); avg != 0 {
+			b.Fatalf("cache hit allocated %.1f objects/op, want 0", avg)
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			tr := trs[i%keys]
 			pipe.Evaluate(tr.a, tr.s, tr.l)
+		}
+	})
+
+	b.Run("batch-hit", func(b *testing.B) {
+		pipe := MustFromSpec("maestro,cache", SpecOptions{})
+		// One search-round-shaped batch: 64 schedules against a single
+		// (accelerator, layer) pair.
+		rng := rand.New(rand.NewSource(3))
+		base := trs[0]
+		grp := batchGroup{a: base, ss: make([]sched.Schedule, 64)}
+		for i := range grp.ss {
+			grp.ss[i] = sched.Free().Random(rng, base.l, base.a.RFBytesPerPE(), base.a.L2Bytes())
+		}
+		pipe.EvaluateBatch(grp.a.a, grp.ss, grp.a.l)
+		// A warm batch allocates only the two result slices the
+		// interface hands back; keys, entry pointers, and flags live in
+		// the pooled scratch.
+		if avg := testing.AllocsPerRun(100, func() {
+			pipe.EvaluateBatch(grp.a.a, grp.ss, grp.a.l)
+		}); avg > 2 {
+			b.Fatalf("warm batch allocated %.1f objects/op, want <= 2 (the result slices)", avg)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipe.EvaluateBatch(grp.a.a, grp.ss, grp.a.l)
 		}
 	})
 

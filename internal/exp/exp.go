@@ -62,6 +62,11 @@ type Config struct {
 	// built from EvalSpec. Tracing is observe-only: every CSV is
 	// byte-identical with it on or off.
 	Tracer obs.Tracer
+	// DisableBatch forces the per-layer searches onto the sequential
+	// one-candidate-at-a-time path (core.RunConfig.DisableBatch). Results
+	// are bit-identical either way; the switch exists to verify that
+	// invariant end to end and to bisect batching regressions.
+	DisableBatch bool
 }
 
 // Default returns the scaled-down configuration used by tests and the
@@ -149,16 +154,17 @@ func (c Config) runConfig(models []workload.Model, trial int) (core.RunConfig, e
 		return core.RunConfig{}, err
 	}
 	return core.RunConfig{
-		Models:    models,
-		Space:     space,
-		Budget:    budget,
-		Objective: c.Objective,
-		HWSamples: c.HWSamples,
-		SWSamples: c.SWSamples,
-		Seed:      c.Seed + int64(trial)*7919, // distinct, reproducible per trial
-		Eval:      c.Eval,
-		Workers:   c.Workers,
-		Tracer:    c.Tracer,
+		Models:       models,
+		Space:        space,
+		Budget:       budget,
+		Objective:    c.Objective,
+		HWSamples:    c.HWSamples,
+		SWSamples:    c.SWSamples,
+		Seed:         c.Seed + int64(trial)*7919, // distinct, reproducible per trial
+		Eval:         c.Eval,
+		Workers:      c.Workers,
+		Tracer:       c.Tracer,
+		DisableBatch: c.DisableBatch,
 	}, nil
 }
 

@@ -159,11 +159,6 @@ func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, 
 		return Cost{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 
-	h, w := a.Height(), a.Width
-	n2 := s.OuterTrips(l)
-	n1 := s.InnerTrips(l)
-	uo, ui := s.OuterUnroll, s.InnerUnroll
-
 	// --- Capacity validity -------------------------------------------------
 	// Each PE's register file holds one T1 tile working set; the global
 	// scratchpad holds one T2 tile working set (both spatial unrolls
@@ -179,6 +174,61 @@ func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, 
 		return Cost{}, fmt.Errorf("%w: L2 working set needs %d B, scratchpad holds %d B",
 			ErrInvalid, l2Need, a.L2Bytes())
 	}
+
+	ctx := newLayerCtx(a, l)
+	return ctx.costOf(&s, s.OuterTrips(l), s.InnerTrips(l)), nil
+}
+
+// layerCtx caches every model input that depends only on the
+// (accelerator, layer) pair, so a batch of candidate schedules for the
+// same pair pays for validation, byte-size scalars, and the two sqrt
+// coefficients exactly once. Each cached scalar is a whole value the
+// sequential path computes with the identical expression — never a
+// refactored sub-product — which keeps costOf bit-identical to the
+// pre-batch Evaluate for every schedule.
+type layerCtx struct {
+	l     workload.Layer
+	h, w  int
+	sizes [workload.NumDims]int // layer extents in canonical dim order
+
+	rfCap, l2Cap int64 // per-PE RF and scratchpad capacity bounds
+	simd         int64
+
+	macs    float64 // float64(l.MACs())
+	areaMM2 float64 // a.AreaMM2()
+	eL2     float64 // scratchpad energy/byte at this L2 size
+	eNoC    float64 // row-bus energy/byte at this array width
+	dramBW  float64 // off-chip bytes/cycle
+	nocBW   float64 // float64(a.NoCBW)
+	ramp    float64 // pipeline-fill cycles for this array
+}
+
+func newLayerCtx(a hw.Accel, l workload.Layer) layerCtx {
+	h, w := a.Height(), a.Width
+	return layerCtx{
+		l:       l,
+		h:       h,
+		w:       w,
+		sizes:   l.Sizes(),
+		rfCap:   a.RFBytesPerPE(),
+		l2Cap:   a.L2Bytes(),
+		simd:    int64(a.SIMDLanes),
+		macs:    float64(l.MACs()),
+		areaMM2: a.AreaMM2(),
+		eL2:     eL2BasePJ * math.Sqrt(float64(a.L2KB)/128),
+		eNoC:    eNoCBase + eNoCPerColumn*float64(w),
+		dramBW:  math.Max(16, float64(a.NoCBW)/2), // off-chip channel tracks on-chip width
+		nocBW:   float64(a.NoCBW),
+		ramp:    rampCycles * float64(h+w),
+	}
+}
+
+// costOf evaluates one already-validated schedule against the cached
+// context. n2 and n1 are the DRAM- and L2-level trip counts (from
+// OuterTrips/InnerTrips or the fused TripCounts). It allocates nothing.
+func (c *layerCtx) costOf(s *sched.Schedule, n2, n1 [workload.NumDims]int) Cost {
+	h, w := c.h, c.w
+	uo, ui := s.OuterUnroll, s.InnerUnroll
 
 	// --- Iteration structure ----------------------------------------------
 	// DRAM-level loops are purely temporal; the L2-level loop over the
@@ -204,11 +254,11 @@ func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, 
 	for i := range workload.AllDims {
 		macsPerT1 *= int64(s.T1[i])
 	}
-	cyclesPerT1 := float64(ceilDiv64(macsPerT1, int64(a.SIMDLanes)))
+	cyclesPerT1 := float64(ceilDiv64(macsPerT1, c.simd))
 	computeCycles := outerIters * innerIters * cyclesPerT1
 
 	// --- DRAM traffic -------------------------------------------------------
-	inBytes2 := inputTileBytes(l, s.T2)
+	inBytes2 := inputTileBytes(c.l, s.T2)
 	wBytes2 := weightTileBytes(s.T2)
 	outBytes2 := outputTileBytes(s.T2)
 
@@ -229,7 +279,7 @@ func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, 
 	// each fill moves one T1 tile per spatially distinct copy. Tensors
 	// independent of an unrolled dimension are multicast along it (one
 	// copy serves the whole row or column).
-	inBytes1 := inputTileBytes(l, s.T1)
+	inBytes1 := inputTileBytes(c.l, s.T1)
 	wBytes1 := weightTileBytes(s.T1)
 	outBytes1 := outputTileBytes(s.T1)
 
@@ -247,30 +297,26 @@ func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, 
 	nocBytes := outerIters * perOuterBytes
 
 	// --- Stalls and delay ----------------------------------------------------
-	dramBW := math.Max(16, float64(a.NoCBW)/2) // off-chip channel tracks on-chip width
-	dramCycles := dramBytes / dramBW
+	dramCycles := dramBytes / c.dramBW
 	// Each row has a dedicated bus of NoCBW bytes/cycle; traffic spreads
 	// over the active rows.
-	nocCycles := nocBytes / (float64(a.NoCBW) * float64(lanes.rows))
-	ramp := rampCycles * float64(h+w)
-	delay := math.Max(computeCycles, math.Max(dramCycles, nocCycles)) + ramp
+	nocCycles := nocBytes / (c.nocBW * float64(lanes.rows))
+	delay := math.Max(computeCycles, math.Max(dramCycles, nocCycles)) + c.ramp
 
 	// --- Energy ---------------------------------------------------------------
-	macs := float64(l.MACs())
+	macs := c.macs
 	// Scratchpad accesses: DRAM fills write into L2 once, and every byte
 	// sent down a row bus is read from L2 once (the bus itself multicasts
 	// across the columns of the row).
 	l2AccessBytes := dramBytes + nocBytes
 	rfAccessBytes := macs * 4 // two operand reads + psum read + write per MAC
-	eL2 := eL2BasePJ * math.Sqrt(float64(a.L2KB)/128)
-	eNoC := eNoCBase + eNoCPerColumn*float64(w)
 
 	energyPJ := macs*eMACPerOp +
 		dramBytes*EDRAMPerByte +
-		l2AccessBytes*eL2 +
-		nocBytes*eNoC +
+		l2AccessBytes*c.eL2 +
+		nocBytes*c.eNoC +
 		rfAccessBytes*eRFPerByte +
-		delay*leakPerMM2*a.AreaMM2()
+		delay*leakPerMM2*c.areaMM2
 
 	// --- Derived metrics -------------------------------------------------------
 	var spatialUtil float64
@@ -285,7 +331,7 @@ func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, 
 	cost := Cost{
 		DelayCycles:     delay,
 		EnergyNJ:        energyPJ / 1000,
-		AreaMM2:         a.AreaMM2(),
+		AreaMM2:         c.areaMM2,
 		ComputeCycles:   computeCycles,
 		DRAMCycles:      dramCycles,
 		NoCCycles:       nocCycles,
@@ -305,7 +351,7 @@ func (m *Model) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (Cost, 
 			cost.L2InputReuse = nocInTotal / dramIn
 		}
 	}
-	return cost, nil
+	return cost
 }
 
 // spatialLanes is the concurrently active extent of the PE array.

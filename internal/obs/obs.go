@@ -65,6 +65,7 @@ const (
 
 	// Evaluation pipeline (internal/eval, internal/resilience).
 	EvalDone     EventType = "eval.done"         // DurMS; Detail: ok|invalid|error
+	EvalBatch    EventType = "eval.batch"        // N: batch size; DurMS: whole-batch duration
 	BackendPath  EventType = "backend.path"      // Detail: backend event name (e.g. sim's simulated/fallback)
 	CacheHit     EventType = "cache.hit"         //
 	CacheMiss    EventType = "cache.miss"        //
@@ -98,6 +99,7 @@ var schema = map[EventType]eventRule{
 	PoolStart:      {},
 	PoolDone:       {},
 	EvalDone:       {detail: true},
+	EvalBatch:      {n: true},
 	BackendPath:    {detail: true},
 	CacheHit:       {},
 	CacheMiss:      {},

@@ -96,6 +96,41 @@ func (s Schedule) InnerTrips(l workload.Layer) [workload.NumDims]int {
 	return n
 }
 
+// TripCounts fuses Validate, OuterTrips, and InnerTrips into one
+// allocation-free pass for batched evaluation: given the layer's
+// dimension extents (as returned by workload.Layer.Sizes, precomputed
+// once per batch), it reports the DRAM-level and L2-level trip counts
+// and whether the schedule is structurally valid. ok is false exactly
+// when Validate would return an error for a layer with these extents;
+// callers needing the reason re-run Validate, off the hot path. Each
+// dimension costs two fused div/mod pairs instead of Validate's
+// separate mod checks followed by OuterTrips/InnerTrips divisions.
+func (s Schedule) TripCounts(sizes [workload.NumDims]int) (n2, n1 [workload.NumDims]int, ok bool) {
+	for i := range sizes {
+		t2, t1 := s.T2[i], s.T1[i]
+		if t1 <= 0 || t2 <= 0 {
+			return n2, n1, false
+		}
+		q2 := sizes[i] / t2
+		if q2*t2 != sizes[i] {
+			return n2, n1, false
+		}
+		q1 := t2 / t1
+		if q1*t1 != t2 {
+			return n2, n1, false
+		}
+		n2[i], n1[i] = q2, q1
+	}
+	if !isPermutation(s.OuterOrder) || !isPermutation(s.InnerOrder) {
+		return n2, n1, false
+	}
+	if s.OuterUnroll < 0 || int(s.OuterUnroll) >= workload.NumDims ||
+		s.InnerUnroll < 0 || int(s.InnerUnroll) >= workload.NumDims {
+		return n2, n1, false
+	}
+	return n2, n1, true
+}
+
 // String renders the schedule compactly for logs and reports.
 func (s Schedule) String() string {
 	return fmt.Sprintf("T2=%v T1=%v outer=%v inner=%v unroll=%v/%v",
