@@ -16,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"spotlight/internal/core"
@@ -52,7 +54,8 @@ func run() error {
 		noBatch   = flag.Bool("nobatch", false, "disable the batched candidate-evaluation fast path (results are bit-identical either way; for A/B verification and bisecting)")
 		evalSpec  = flag.String("eval", "maestro",
 			"evaluation pipeline spec: backend[,middleware...] — backends: "+
-				strings.Join(eval.Backends(), ", ")+"; middlewares: cache, guard, stats")
+				strings.Join(eval.Backends(), ", ")+"; middlewares: cache, diskcache(path=FILE), guard, stats")
+		cacheDir  = flag.String("cache-dir", "", "persist evaluation results to a crash-safe journal in this directory and reuse them across runs (CSVs are byte-identical warm or cold; disk faults degrade to in-memory evaluation)")
 		evalStats = flag.Bool("eval-stats", false, "print per-backend evaluation and cache statistics at exit")
 
 		traceFile   = flag.String("trace", "", "write structured JSONL trace events to this file (observe-only: every CSV is byte-identical with or without; inspect with tracestat)")
@@ -112,7 +115,11 @@ func run() error {
 	// to report from at exit.
 	cfg.EvalSpec = *evalSpec
 	cfg.Tracer = tele.Tracer
-	pipe, err := eval.FromSpec(*evalSpec, eval.SpecOptions{EnsureStats: true, Tracer: tele.Tracer})
+	pipe, err := eval.FromSpec(*evalSpec, eval.SpecOptions{
+		EnsureStats: true,
+		Tracer:      tele.Tracer,
+		CacheDir:    *cacheDir,
+	})
 	if err != nil {
 		var unknown *eval.UnknownBackendError
 		if errors.As(err, &unknown) {
@@ -123,6 +130,35 @@ func run() error {
 		return err
 	}
 	cfg.Eval = pipe
+	defer func() {
+		if cerr := pipe.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: disk cache:", cerr)
+		}
+	}()
+
+	// The figure drivers have no cancellation plumbing (each trial is
+	// minutes at most), so SIGINT/SIGTERM are handled here directly: flush
+	// the persistent cache journal and the trace sink, then exit. A torn
+	// CSV is regenerated by rerunning; the journal must not lose the
+	// evaluations already paid for. SIGKILL-grade crashes are covered by
+	// the journal's scan-and-truncate recovery instead.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %v: flushing disk cache and trace\n", sig)
+		if cerr := pipe.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: disk cache:", cerr)
+		}
+		if cerr := tele.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: trace:", cerr)
+		}
+		os.Exit(130)
+	}()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -196,8 +232,13 @@ func (r *runner) writeCSV(name string, write func(f *os.File) error) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := write(f); err != nil {
+		f.Close() //lint:allow closecheck(the write already failed; that error is reported instead)
+		return err
+	}
+	// Close errors are where buffered write failures surface; "wrote" is
+	// only printed for files that actually landed.
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("   wrote %s\n", path)

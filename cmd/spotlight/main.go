@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"spotlight/internal/core"
@@ -48,7 +49,7 @@ func run() error {
 		swSamples  = flag.Int("sw", 100, "software samples per layer per hardware sample")
 		seed       = flag.Int64("seed", 1, "random seed")
 		strategy   = flag.String("strategy", "spotlight", "search strategy: spotlight, spotlight-v, spotlight-a, spotlight-f, random, ga, confuciux, hasco")
-		evalSpec   = flag.String("eval", "", "evaluation pipeline spec: backend[,middleware...], e.g. \"maestro\", \"sim,cache,guard\" (backends: "+strings.Join(eval.Backends(), ", ")+"; middlewares: cache, guard, stats)")
+		evalSpec   = flag.String("eval", "", "evaluation pipeline spec: backend[,middleware...], e.g. \"maestro\", \"sim,cache,guard\" (backends: "+strings.Join(eval.Backends(), ", ")+"; middlewares: cache, diskcache(path=FILE), guard, stats)")
 		backend    = flag.String("backend", "", "deprecated alias for -eval with a bare backend name; prefer -eval \"name[,middleware...]\"")
 		evalStats  = flag.Bool("eval-stats", false, "print per-backend evaluation and cache statistics after the run")
 		historyCSV = flag.String("history", "", "write the per-sample convergence history to this CSV file")
@@ -64,6 +65,7 @@ func run() error {
 		resumeFrom  = flag.String("resume", "", "resume from a checkpoint file; models, seed, strategy, and budgets must match the original run")
 		evalTimeout = flag.Duration("eval-timeout", 0, "abandon any single cost-model evaluation after this long (0 = none)")
 		evalRetries = flag.Int("eval-retries", 0, "retries for transient cost-model faults, with exponential backoff")
+		cacheDir    = flag.String("cache-dir", "", "persist evaluation results to a crash-safe journal in this directory and reuse them across runs (results are bit-identical warm or cold; disk faults degrade to in-memory evaluation)")
 
 		traceFile   = flag.String("trace", "", "write structured JSONL trace events to this file (observe-only: results are bit-identical with or without; inspect with tracestat)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof/* on this address while running, e.g. 127.0.0.1:6060 (\":0\" picks a port)")
@@ -135,6 +137,7 @@ func run() error {
 		},
 		EnsureStats: true,
 		Tracer:      tele.Tracer,
+		CacheDir:    *cacheDir,
 	})
 	if err != nil {
 		// An unknown backend is a usage error: say what exists and how
@@ -147,6 +150,14 @@ func run() error {
 		}
 		return err
 	}
+	// The persistent cache journal is flushed and closed on every exit
+	// path; a failed flush is surfaced (records may not have hit disk)
+	// but — per the degradation contract — never fails the run.
+	defer func() {
+		if cerr := pipe.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "spotlight: disk cache:", cerr)
+		}
+	}()
 	reportStats := func() {
 		if *evalStats {
 			fmt.Print(pipe.Report())
@@ -180,7 +191,7 @@ func run() error {
 		DisableBatch: *noBatch,
 	}
 	if *resumeFrom != "" {
-		cp, err := readCheckpointFile(*resumeFrom)
+		cp, err := core.ReadCheckpointFile(*resumeFrom)
 		if err != nil {
 			return err
 		}
@@ -191,14 +202,17 @@ func run() error {
 	if *checkpoint != "" {
 		cfg.OnCheckpoint = func(cp *core.Checkpoint) error {
 			lastCP = cp
-			return writeCheckpointFile(*checkpoint, cp)
+			return core.WriteCheckpointFile(*checkpoint, cp)
 		}
 	}
 
-	// SIGINT (and -timeout) stop the search cooperatively: the run
-	// finishes its current hardware sample's bookkeeping, the last
-	// checkpoint on disk stays valid, and the partial result is reported.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT, SIGTERM (and -timeout) stop the search cooperatively: the
+	// run finishes its current hardware sample's bookkeeping, the last
+	// checkpoint on disk stays valid, the disk-cache journal is flushed
+	// and closed by the deferred handlers above, and the partial result
+	// is reported. SIGTERM matters for batch schedulers and container
+	// runtimes, which send it (not SIGINT) before killing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -213,7 +227,7 @@ func run() error {
 		}
 		fmt.Fprintln(os.Stderr, "spotlight:", err)
 		if *checkpoint != "" && lastCP != nil {
-			if werr := writeCheckpointFile(*checkpoint, lastCP); werr != nil {
+			if werr := core.WriteCheckpointFile(*checkpoint, lastCP); werr != nil {
 				fmt.Fprintln(os.Stderr, "spotlight: saving final checkpoint:", werr)
 			} else {
 				fmt.Fprintf(os.Stderr, "spotlight: checkpoint saved; continue with -resume %s\n", *checkpoint)
@@ -240,17 +254,27 @@ func run() error {
 		fmt.Printf("history written to %s\n", *historyCSV)
 	}
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := core.WriteJSON(f, core.Export(res.Tool, obj, res.Best)); err != nil {
+		if err := writeDesign(*jsonOut, res, obj); err != nil {
 			return err
 		}
 		fmt.Printf("design written to %s\n", *jsonOut)
 	}
 	return nil
+}
+
+// writeDesign exports the winning design as JSON. The close error is
+// checked — on many filesystems it is where a write failure surfaces —
+// so "design written" is never printed for a file that did not land.
+func writeDesign(path string, res core.Result, obj core.Objective) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteJSON(f, core.Export(res.Tool, obj, res.Best)); err != nil {
+		f.Close() //lint:allow closecheck(the write already failed; that error is reported instead)
+		return err
+	}
+	return f.Close()
 }
 
 func strategyByName(name string) (core.Strategy, error) {
@@ -323,7 +347,7 @@ func reevaluateDesign(path string, ev core.Evaluator, obj core.Objective, models
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow closecheck(read-only file: the close error carries no data)
 	e, err := core.ReadJSON(f)
 	if err != nil {
 		return err
@@ -388,47 +412,11 @@ func reportFrontier(res core.Result, budget hw.Budget) {
 	}
 }
 
-// writeCheckpointFile replaces path atomically (write to a sibling temp
-// file, fsync, rename), so a crash or SIGKILL mid-write can never leave
-// a truncated checkpoint behind — the previous complete one survives.
-func writeCheckpointFile(path string, cp *core.Checkpoint) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := core.WriteCheckpoint(f, cp); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-func readCheckpointFile(path string) (*core.Checkpoint, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.ReadCheckpoint(f)
-}
-
 func writeHistory(path string, res core.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	rows := make([][]string, 0, len(res.History))
 	for _, h := range res.History {
 		rows = append(rows, []string{
@@ -438,5 +426,9 @@ func writeHistory(path string, res core.Result) error {
 			strconv.FormatFloat(h.BestSoFar, 'g', 6, 64),
 		})
 	}
-	return exp.WriteTable(f, []string{"sample", "elapsed_s", "value", "best_so_far"}, rows)
+	if err := exp.WriteTable(f, []string{"sample", "elapsed_s", "value", "best_so_far"}, rows); err != nil {
+		f.Close() //lint:allow closecheck(the write already failed; that error is reported instead)
+		return err
+	}
+	return f.Close()
 }

@@ -109,6 +109,7 @@ func summarize(r io.Reader, w io.Writer) error {
 	durCount := map[obs.EventType]int{}
 	evalOutcomes := map[string]int{}
 	backendPaths := map[string]int{}
+	persistCounts := map[string]int{}
 	var batchCalls, batchedItems int
 	var tool string
 	var budgeted, completed int
@@ -137,6 +138,11 @@ func summarize(r io.Reader, w io.Writer) error {
 			batchedItems += e.N
 		case obs.BackendPath:
 			backendPaths[e.Detail]++
+		case obs.CachePersist:
+			// Detail is a kind, optionally with a message ("degraded: ...");
+			// aggregate by kind.
+			kind, _, _ := strings.Cut(e.Detail, ":")
+			persistCounts[kind]++
 		}
 	}
 
@@ -180,6 +186,9 @@ func summarize(r io.Reader, w io.Writer) error {
 	if hits+misses > 0 {
 		fmt.Fprintf(w, "\ncache: hits=%d misses=%d leader-panics=%d (%.1f%% hit rate)\n",
 			hits, misses, counts[obs.CachePanic], 100*float64(hits)/float64(hits+misses))
+	}
+	if len(persistCounts) > 0 {
+		fmt.Fprintf(w, "persistent cache: %s\n", formatCounts(persistCounts))
 	}
 	if counts[obs.GuardRetry]+counts[obs.GuardTimeout] > 0 {
 		fmt.Fprintf(w, "guard: retries=%d timeouts=%d\n",

@@ -43,7 +43,7 @@ func TestCheckAcceptsGoldenTrace(t *testing.T) {
 	if err := checkTrace(bytes.NewReader(trace), &out); err != nil {
 		t.Fatalf("check: %v", err)
 	}
-	if got, want := out.String(), "39 events: schema OK\n"; got != want {
+	if got, want := out.String(), "44 events: schema OK\n"; got != want {
 		t.Errorf("check output = %q, want %q", got, want)
 	}
 }

@@ -3,6 +3,7 @@ package lintkit
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -214,7 +215,12 @@ func (l *Loader) expand(path string) ([]string, error) {
 	return out, err
 }
 
-// goFileNames lists the non-test .go files of dir, sorted.
+// goFileNames lists the non-test .go files of dir that belong to the
+// current build configuration, sorted. Build constraints (//go:build
+// lines and _GOOS/_GOARCH name suffixes) are honoured via go/build the
+// way the compiler honours them — otherwise a package with platform
+// variants of one function (e.g. diskcache's flock files) would
+// type-check as a redeclaration.
 func goFileNames(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -224,6 +230,9 @@ func goFileNames(dir string) ([]string, error) {
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

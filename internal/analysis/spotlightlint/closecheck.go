@@ -1,0 +1,112 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// CloseCheck enforces the persistence-hygiene invariant from the
+// crash-safe cache PR: in packages that write durable state (the
+// disk-cache journal, checkpoints, CSV and JSON artifacts), the error
+// returned by Close or Sync must be checked. On most filesystems a
+// buffered write failure — a filling disk, a vanished mount — surfaces
+// at close time, so `defer f.Close()` on a written file silently
+// converts data loss into a success exit code. Read-only closes and
+// already-failed paths are suppressed with an annotation naming the
+// reason: //lint:allow closecheck(read-only file: ...).
+var CloseCheck = &lintkit.Analyzer{
+	Name: "closecheck",
+	Doc:  "Close/Sync errors must be checked in persistence packages (a dropped close error hides a failed flush)",
+	Run:  runCloseCheck,
+}
+
+// persistencePackages write durable state whose loss must not be
+// silent: the journal store, the checkpoint writer, the middleware that
+// owns the store handle, and the CLIs that emit result artifacts.
+var persistencePackages = []string{
+	"spotlight/internal/eval/diskcache",
+	"spotlight/internal/eval",
+	"spotlight/internal/core",
+	"spotlight/cmd/spotlight",
+	"spotlight/cmd/experiments",
+}
+
+// closeLikeCall returns the call if expr is a method call named Close or
+// Sync whose result is exactly one error; nil otherwise.
+func closeLikeCall(pass *lintkit.Pass, expr ast.Expr) *ast.CallExpr {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if !types.Identical(tv.Type, types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return call
+}
+
+// callName renders "recv.Close" for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	sel := call.Fun.(*ast.SelectorExpr)
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}
+
+func runCloseCheck(pass *lintkit.Pass) error {
+	if !inList(pass.Pkg.Path(), persistencePackages) {
+		return nil
+	}
+	report := func(call *ast.CallExpr, how string) {
+		pass.Reportf(call.Pos(),
+			"the error from %s is discarded (%s): a failed flush would go unnoticed — check it, or annotate //lint:allow closecheck(reason)",
+			callName(call), how)
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call := closeLikeCall(pass, n.X); call != nil {
+					report(call, "result unused")
+				}
+			case *ast.DeferStmt:
+				if call := closeLikeCall(pass, n.Call); call != nil {
+					report(call, "deferred without handling")
+				}
+			case *ast.GoStmt:
+				if call := closeLikeCall(pass, n.Call); call != nil {
+					report(call, "result unused")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call := closeLikeCall(pass, n.Rhs[0])
+				if call == nil {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true // the error lands in a variable
+					}
+				}
+				report(call, "assigned to _")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestCloseCheck proves every discard form (defer, bare statement, `_ =`,
+// go statement) of an error-returning Close/Sync is flagged inside a
+// persistence package, that checked, returned, variable-assigned, and
+// //lint:allow-annotated uses pass, that error-free Close methods are
+// ignored, and that non-persistence packages are exempt entirely.
+func TestCloseCheck(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.CloseCheck,
+		"spotlight/internal/eval/diskcache", "plainpkg")
+}

@@ -18,6 +18,8 @@
 //   - floateq: no ==/!= on floating-point operands outside tests.
 //   - nonfinite: no math.NaN/math.Inf flowing into Cost fields or
 //     checkpoint encoding outside the sanctioned hygiene helpers.
+//   - closecheck: no discarded Close/Sync errors in the packages that
+//     write durable state (journal, checkpoints, result artifacts).
 //
 // Any finding can be suppressed with an inline or preceding-line
 // annotation naming its reason: //lint:allow wallclock(latency counter).
@@ -38,6 +40,7 @@ import (
 // harmless because matching is exact.
 var deterministicPackages = []string{
 	"spotlight/internal/dabo",
+	"spotlight/internal/eval/diskcache",
 	"spotlight/internal/gp",
 	"spotlight/internal/search",
 	"spotlight/internal/sched",
@@ -102,5 +105,6 @@ func Analyzers() []*lintkit.Analyzer {
 		GuardSite,
 		FloatEq,
 		NonFinite,
+		CloseCheck,
 	}
 }

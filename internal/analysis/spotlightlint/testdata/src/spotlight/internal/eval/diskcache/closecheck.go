@@ -1,0 +1,58 @@
+// Package diskcache stands in for the persistence package: every way of
+// discarding a Close/Sync error must be flagged, checked uses and
+// annotated sites must pass, and error-free Close methods are ignored.
+package diskcache
+
+import "os"
+
+// notifier has an error-free Close: not closecheck's business.
+type notifier struct{}
+
+func (notifier) Close() {}
+
+func journal(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "error from f.Close is discarded"
+
+	g, err := os.Create(path + ".2")
+	if err != nil {
+		return err
+	}
+	g.Sync()      // want "error from g.Sync is discarded"
+	_ = g.Close() // want "error from g.Close is discarded"
+	go f.Sync()   // want "error from f.Sync is discarded"
+	var n notifier
+	n.Close() // error-free Close: fine
+	return nil
+}
+
+func checked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // checked: fine
+		return err
+	}
+	return f.Close() // returned: fine
+}
+
+func annotated(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() //lint:allow closecheck(read-only file: the close error carries no data)
+}
+
+func intoVariable(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cerr := f.Close() // lands in a variable: fine
+	return cerr
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteCheckpointFile replaces path atomically: the checkpoint is
+// written to a sibling temp file, fsynced, closed, and renamed over
+// path. A crash, SIGKILL, or full disk at any point leaves either the
+// previous complete checkpoint or the new one — never a truncated
+// hybrid — because rename is the only step that changes what a reader
+// sees and it happens after the bytes are durable. Every error on the
+// write path (including Sync and Close, whose failures mean the data
+// may not have reached disk) aborts the replacement and leaves the
+// previous checkpoint in place.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: creating checkpoint temp file: %w", err)
+	}
+	if err := WriteCheckpoint(f, cp); err != nil {
+		abandonTemp(f, tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		abandonTemp(f, tmp)
+		return fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		removeTemp(tmp)
+		return fmt.Errorf("core: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		removeTemp(tmp)
+		return fmt.Errorf("core: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile.
+// A leftover .tmp sibling (a write that crashed before rename) is
+// ignored: path always names the last complete checkpoint.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //lint:allow closecheck(read-only file: the close error carries no data)
+	return ReadCheckpoint(f)
+}
+
+// abandonTemp discards a temp file after its write already failed; the
+// original error is what the caller reports.
+func abandonTemp(f *os.File, tmp string) {
+	_ = f.Close() //lint:allow closecheck(the write already failed; that error is reported instead)
+	removeTemp(tmp)
+}
+
+// removeTemp best-effort deletes the temp file; a leftover .tmp is
+// harmless (readers ignore it, the next write recreates it).
+func removeTemp(tmp string) {
+	_ = os.Remove(tmp)
+}

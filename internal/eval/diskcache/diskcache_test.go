@@ -1,0 +1,434 @@
+package diskcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"spotlight/internal/resilience"
+)
+
+func testKey(i int) Key {
+	var k Key
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	k[31] = 0xA5
+	return k
+}
+
+func testValue(i int) []byte {
+	return []byte(fmt.Sprintf("value-%d-%s", i, "payload"))
+}
+
+func openT(t *testing.T, path, fp string) *Store {
+	t.Helper()
+	s, err := Open(Options{Path: path, Fingerprint: fp})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return s
+}
+
+func TestPutGetReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache", "test.journal")
+	s := openT(t, path, "fp-v1")
+	for i := 0; i < 20; i++ {
+		s.Put(testKey(i), testValue(i))
+	}
+	if got, ok := s.Get(testKey(7)); !ok || !bytes.Equal(got, testValue(7)) {
+		t.Fatalf("Get(7) = %q, %v", got, ok)
+	}
+	if _, ok := s.Get(testKey(99)); ok {
+		t.Fatal("Get(99) hit on a never-stored key")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openT(t, path, "fp-v1")
+	defer r.Close()
+	if r.Len() != 20 {
+		t.Fatalf("reopened Len = %d, want 20", r.Len())
+	}
+	for i := 0; i < 20; i++ {
+		if got, ok := r.Get(testKey(i)); !ok || !bytes.Equal(got, testValue(i)) {
+			t.Fatalf("reopened Get(%d) = %q, %v", i, got, ok)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.Recovered != 20 || snap.DroppedBytes != 0 || snap.ReadOnly || snap.Degraded || snap.Invalidated {
+		t.Fatalf("reopened snapshot = %+v", snap)
+	}
+}
+
+// TestCrashRecoveryAtEveryOffset is the crash-injection property test:
+// whatever byte offset a crash truncates the journal at, reopening
+// recovers exactly the records that were completely written before that
+// offset, truncates the torn tail, and accepts new appends.
+func TestCrashRecoveryAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.journal")
+	s := openT(t, ref, "fp-v1")
+	const n = 12
+	// recordEnds[i] = journal size after i complete records.
+	var recordEnds []int64
+	recordEnds = append(recordEnds, journalEnd(s))
+	for i := 0; i < n; i++ {
+		s.Put(testKey(i), testValue(i))
+		recordEnds = append(recordEnds, journalEnd(s))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	whole, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(whole)) != recordEnds[n] {
+		t.Fatalf("journal size %d, want %d", len(whole), recordEnds[n])
+	}
+
+	completeBefore := func(off int64) int {
+		k := 0
+		for k < n && recordEnds[k+1] <= off {
+			k++
+		}
+		return k
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	offsets := []int64{0, 1, recordEnds[0] - 1, recordEnds[0], recordEnds[0] + 1,
+		recordEnds[n] - 1, recordEnds[n]}
+	for i := 0; i < 60; i++ {
+		offsets = append(offsets, rng.Int63n(int64(len(whole))+1))
+	}
+	for _, off := range offsets {
+		path := filepath.Join(dir, fmt.Sprintf("crash-%d.journal", off))
+		if err := os.WriteFile(path, whole[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := openT(t, path, "fp-v1")
+		want := completeBefore(off)
+		if r.Len() != want {
+			t.Fatalf("off=%d: recovered %d records, want %d", off, r.Len(), want)
+		}
+		for i := 0; i < want; i++ {
+			if got, ok := r.Get(testKey(i)); !ok || !bytes.Equal(got, testValue(i)) {
+				t.Fatalf("off=%d: Get(%d) = %q, %v", off, i, got, ok)
+			}
+		}
+		// The store must keep working after recovery: append and reopen.
+		r.Put(testKey(100), testValue(100))
+		if err := r.Close(); err != nil {
+			t.Fatalf("off=%d: Close: %v", off, err)
+		}
+		rr := openT(t, path, "fp-v1")
+		if got, ok := rr.Get(testKey(100)); !ok || !bytes.Equal(got, testValue(100)) {
+			t.Fatalf("off=%d: post-recovery append lost: %q, %v", off, got, ok)
+		}
+		if rr.Len() != want+1 {
+			t.Fatalf("off=%d: second reopen Len = %d, want %d", off, rr.Len(), want+1)
+		}
+		if err := rr.Close(); err != nil {
+			t.Fatalf("off=%d: second Close: %v", off, err)
+		}
+	}
+}
+
+// journalEnd exposes the journal's logical end offset for the crash
+// offset table.
+func journalEnd(s *Store) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// TestTornWriteDegradesAndRecovers drives the append path into a torn
+// write with the shared fault injector: the store degrades (once),
+// in-memory service continues, and a clean reopen recovers exactly the
+// fully-written records.
+func TestTornWriteDegradesAndRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	// Budget: header plus two records plus a few bytes — the third append
+	// tears partway through.
+	hdr := int64(len(headerBytes("fp-v1")))
+	rec := int64(recordHdrLen + 32 + len(testValue(0)))
+	var degradations int
+	var degradeErr error
+	fault := resilience.NewFileFault(hdr+2*rec+5, errors.New("injected ENOSPC"))
+	s, err := Open(Options{
+		Path:        path,
+		Fingerprint: "fp-v1",
+		Fault:       fault,
+		OnDegrade:   func(err error) { degradations++; degradeErr = err },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		s.Put(testKey(i), testValue(i))
+	}
+	if !fault.Tripped() {
+		t.Fatal("fault never tripped")
+	}
+	if degradations != 1 {
+		t.Fatalf("OnDegrade fired %d times, want exactly 1", degradations)
+	}
+	if degradeErr == nil || degradeErr.Error() != "injected ENOSPC" {
+		t.Fatalf("OnDegrade error = %v", degradeErr)
+	}
+	snap := s.Snapshot()
+	if !snap.Degraded {
+		t.Fatalf("snapshot = %+v, want Degraded", snap)
+	}
+	// In-memory service continues for every key, persisted or not.
+	for i := 0; i < 6; i++ {
+		if got, ok := s.Get(testKey(i)); !ok || !bytes.Equal(got, testValue(i)) {
+			t.Fatalf("degraded Get(%d) = %q, %v", i, got, ok)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openT(t, path, "fp-v1")
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("reopen after torn write: Len = %d, want the 2 complete records", r.Len())
+	}
+	if rs := r.Snapshot(); rs.Degraded {
+		t.Fatalf("fresh open inherited degradation: %+v", rs)
+	}
+}
+
+// TestMidFileCorruption flips one byte inside an interior record: the
+// scan must stop there, serving the intact prefix and truncating the
+// rest (recompute-and-repair then refills it).
+func TestMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	s := openT(t, path, "fp-v1")
+	for i := 0; i < 10; i++ {
+		s.Put(testKey(i), testValue(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := int64(len(headerBytes("fp-v1")))
+	rec := int64(recordHdrLen + 32 + len(testValue(0)))
+	// Corrupt a payload byte of record 4 (checksum now fails there).
+	data[hdr+4*rec+recordHdrLen+40] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, path, "fp-v1")
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d after mid-file corruption, want the 4-record prefix", r.Len())
+	}
+	snap := r.Snapshot()
+	if snap.DroppedBytes != 6*rec {
+		t.Fatalf("DroppedBytes = %d, want %d", snap.DroppedBytes, 6*rec)
+	}
+	// Repair: the dropped keys recompute and append cleanly.
+	for i := 4; i < 10; i++ {
+		r.Put(testKey(i), testValue(i))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr := openT(t, path, "fp-v1")
+	defer rr.Close()
+	if rr.Len() != 10 {
+		t.Fatalf("repaired Len = %d, want 10", rr.Len())
+	}
+}
+
+// TestFingerprintInvalidation: a journal written under one cost-model
+// fingerprint is wiped when opened under another — stale results must
+// never be served.
+func TestFingerprintInvalidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	s := openT(t, path, "model-v1")
+	s.Put(testKey(1), testValue(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := openT(t, path, "model-v2")
+	if v2.Len() != 0 {
+		t.Fatalf("v2 open served %d stale entries", v2.Len())
+	}
+	if snap := v2.Snapshot(); !snap.Invalidated {
+		t.Fatalf("snapshot = %+v, want Invalidated", snap)
+	}
+	v2.Put(testKey(2), testValue(2))
+	if err := v2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	again := openT(t, path, "model-v2")
+	defer again.Close()
+	if again.Len() != 1 {
+		t.Fatalf("Len = %d after rewrite, want 1", again.Len())
+	}
+	if _, ok := again.Get(testKey(1)); ok {
+		t.Fatal("stale v1 entry survived invalidation")
+	}
+	if got, ok := again.Get(testKey(2)); !ok || !bytes.Equal(got, testValue(2)) {
+		t.Fatalf("v2 entry lost: %q, %v", got, ok)
+	}
+}
+
+// TestCorruptHeaderInvalidates: garbage at the front of the file is
+// indistinguishable from a stale store — wiped, not fatal.
+func TestCorruptHeaderInvalidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	if err := os.WriteFile(path, []byte("this is not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, path, "fp-v1")
+	if snap := s.Snapshot(); !snap.Invalidated || snap.Entries != 0 {
+		t.Fatalf("snapshot = %+v, want empty Invalidated store", snap)
+	}
+	s.Put(testKey(1), testValue(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, path, "fp-v1")
+	defer r.Close()
+	if r.Len() != 1 {
+		t.Fatalf("rewritten journal Len = %d, want 1", r.Len())
+	}
+}
+
+// TestSecondOpenerIsReadOnly: the flock makes one process (here: one
+// handle) the writer; a concurrent opener serves a read-only snapshot
+// and its puts are not persisted.
+func TestSecondOpenerIsReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	w := openT(t, path, "fp-v1")
+	defer w.Close()
+	w.Put(testKey(1), testValue(1))
+
+	r := openT(t, path, "fp-v1")
+	snap := r.Snapshot()
+	if !snap.ReadOnly {
+		t.Fatalf("second opener snapshot = %+v, want ReadOnly", snap)
+	}
+	if got, ok := r.Get(testKey(1)); !ok || !bytes.Equal(got, testValue(1)) {
+		t.Fatalf("read-only Get(1) = %q, %v", got, ok)
+	}
+	r.Put(testKey(2), testValue(2)) // indexed in memory, never written
+	if got, ok := r.Get(testKey(2)); !ok || !bytes.Equal(got, testValue(2)) {
+		t.Fatalf("read-only in-memory Put lost: %q, %v", got, ok)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("read-only Close: %v", err)
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := openT(t, path, "fp-v1")
+	defer fresh.Close()
+	if _, ok := fresh.Get(testKey(2)); ok {
+		t.Fatal("read-only opener's Put reached the journal")
+	}
+	if snap := fresh.Snapshot(); snap.ReadOnly {
+		t.Fatal("lock not released by the writer's Close")
+	}
+}
+
+// TestOversizedValueSkipped: a value over the frame bound is neither
+// persisted nor indexed — the length field doubles as the corruption
+// heuristic, so such records must never be written.
+func TestOversizedValueSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	s := openT(t, path, "fp-v1")
+	defer s.Close()
+	s.Put(testKey(1), make([]byte, maxValueLen+1))
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Fatal("oversized value was indexed")
+	}
+	if snap := s.Snapshot(); snap.Degraded {
+		t.Fatal("oversized value degraded the store")
+	}
+}
+
+// TestFirstWriteWins: duplicate puts keep the original value — matching
+// the memo-cache semantics the disk layer sits under.
+func TestFirstWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	s := openT(t, path, "fp-v1")
+	s.Put(testKey(1), []byte("first"))
+	s.Put(testKey(1), []byte("second"))
+	if got, _ := s.Get(testKey(1)); !bytes.Equal(got, []byte("first")) {
+		t.Fatalf("duplicate Put replaced the value: %q", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, path, "fp-v1")
+	defer r.Close()
+	if got, _ := r.Get(testKey(1)); !bytes.Equal(got, []byte("first")) {
+		t.Fatalf("reopened duplicate value: %q", got)
+	}
+}
+
+// TestConcurrentPutGet exercises the store under the race detector the
+// way the layer-search pool drives it: many goroutines reading and
+// writing overlapping keys.
+func TestConcurrentPutGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	s := openT(t, path, "fp-v1")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g*13 + i) % 40
+				s.Put(testKey(k), testValue(k))
+				if got, ok := s.Get(testKey(k)); !ok || !bytes.Equal(got, testValue(k)) {
+					t.Errorf("concurrent Get(%d) = %q, %v", k, got, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, path, "fp-v1")
+	defer r.Close()
+	if r.Len() != 40 {
+		t.Fatalf("Len = %d after concurrent writes, want 40", r.Len())
+	}
+}
+
+// TestOpenUnreachablePath: a journal path that cannot exist (its parent
+// is a file) is a real open error — the middleware turns it into
+// degraded pass-through.
+func TestOpenUnreachablePath(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Path: filepath.Join(blocker, "sub", "x.journal"), Fingerprint: "fp"}); err == nil {
+		t.Fatal("Open under a file succeeded")
+	}
+	if _, err := Open(Options{Fingerprint: "fp"}); err == nil {
+		t.Fatal("Open with empty path succeeded")
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package diskcache
+
+import "os"
+
+// flockExclusive on platforms without flock grants the lock
+// unconditionally: single-writer protection is advisory hardening, and
+// the journal's checksummed records keep a concurrent-writer accident
+// detectable (corrupt interleavings fail their CRC and are truncated at
+// the next open).
+func flockExclusive(*os.File) (bool, error) { return true, nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package diskcache
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock on f. It returns
+// (false, nil) when another process holds the lock — the caller falls
+// back to a read-only snapshot — and an error only for real failures.
+// The lock is advisory and released automatically when f closes (or the
+// process dies, which is what makes it crash-safe: a killed writer
+// never leaves a stale lock behind).
+func flockExclusive(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return false, nil
+	}
+	return false, err
+}

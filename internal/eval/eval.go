@@ -122,6 +122,7 @@ type Pipeline struct {
 	outer   core.Evaluator // fully composed chain
 	cache   *Cache         // nil when the chain has no cache layer
 	stats   *Stats         // nil when the chain has no stats layer
+	disk    *Disk          // nil when the chain has no persistent cache layer
 	spec    string         // the spec the pipeline was built from, if any
 }
 
@@ -143,6 +144,8 @@ func Chain(backend core.Evaluator, mw ...Middleware) *Pipeline {
 			p.cache = layer
 		case *Stats:
 			p.stats = layer
+		case *Disk:
+			p.disk = layer
 		}
 	}
 	if b, ok := backend.(*sim.Backend); ok && p.stats != nil {
@@ -190,6 +193,20 @@ func (p *Pipeline) Cache() *Cache { return p.cache }
 // Stats returns the pipeline's stats layer, or nil.
 func (p *Pipeline) Stats() *Stats { return p.stats }
 
+// Disk returns the pipeline's persistent cache layer, or nil.
+func (p *Pipeline) Disk() *Disk { return p.disk }
+
+// Close releases pipeline resources — today, flushing and closing the
+// persistent cache journal. Pipelines without a disk layer close
+// trivially; the CLIs call this (and check the error) on every exit
+// path, including signal-driven ones.
+func (p *Pipeline) Close() error {
+	if p.disk == nil {
+		return nil
+	}
+	return p.disk.Close()
+}
+
 // Spec returns the spec string the pipeline was built from (empty for
 // hand-assembled chains).
 func (p *Pipeline) Spec() string { return p.spec }
@@ -211,6 +228,22 @@ func (p *Pipeline) Report() string {
 		c := p.cache.Snapshot()
 		fmt.Fprintf(&b, "eval cache: hits=%d misses=%d coalesced=%d entries=%d\n",
 			c.Hits, c.Misses, c.Coalesced, c.Entries)
+	}
+	if p.disk != nil {
+		if s := p.disk.Store(); s != nil {
+			d := s.Snapshot()
+			mode := "rw"
+			switch {
+			case d.Degraded:
+				mode = "degraded"
+			case d.ReadOnly:
+				mode = "ro"
+			}
+			fmt.Fprintf(&b, "eval diskcache [%s]: hits=%d misses=%d appends=%d entries=%d recovered=%d dropped=%dB mode=%s\n",
+				s.Path(), d.Hits, d.Misses, d.Puts, d.Entries, d.Recovered, d.DroppedBytes, mode)
+		} else {
+			fmt.Fprintf(&b, "eval diskcache: disabled (%v)\n", p.disk.OpenErr())
+		}
 	}
 	return b.String()
 }

@@ -73,6 +73,16 @@ type SpecOptions struct {
 	// reports retries and timeouts. Tracing is observe-only: a traced
 	// pipeline returns bit-identical results to an untraced one.
 	Tracer obs.Tracer
+	// CacheDir, when non-empty, enables the persistent disk cache: a
+	// diskcache layer is inserted directly above the backend (under any
+	// memo cache) when the spec has no "diskcache" token, journaling to
+	// <CacheDir>/<backend>.journal. This is how the CLIs' -cache-dir
+	// flag works whatever the -eval spec says. A "diskcache(path=...)"
+	// token in the spec overrides the derived location.
+	CacheDir string
+	// DiskFault injects write faults into the persistent cache journal
+	// (test instrumentation; see resilience.FileFault).
+	DiskFault *resilience.FileFault
 }
 
 // FromSpec builds a pipeline from a comma-separated spec string: the
@@ -82,6 +92,8 @@ type SpecOptions struct {
 // faults re-enter the cache, and cache hits skip the guard's machinery).
 //
 // Middleware tokens: "cache" (memo cache with single-flight dedup),
+// "diskcache(path=FILE)" (crash-safe persistent cache journaling to
+// FILE; bare "diskcache" derives the path from SpecOptions.CacheDir),
 // "stats" (per-backend counters), "guard" (panic/timeout/retry policy).
 // An unknown backend name returns *UnknownBackendError; an unknown
 // middleware token returns a plain error naming the valid tokens.
@@ -98,24 +110,48 @@ func FromSpec(spec string, opts SpecOptions) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	disk := func(path string) Middleware {
+		return WithDisk(DiskOptions{
+			Dir:         opts.CacheDir,
+			Path:        path,
+			Backend:     backend.Name(),
+			Fingerprint: BackendFingerprint(backend),
+			Tracer:      opts.Tracer,
+			Fault:       opts.DiskFault,
+		})
+	}
 
 	var mws []Middleware
-	hasStats, hasGuard := false, false
+	hasStats, hasGuard, hasDisk := false, false, false
 	for _, tok := range parts[1:] {
-		switch tok = strings.TrimSpace(tok); tok {
-		case "cache":
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "cache":
 			mws = append(mws, WithCache())
-		case "stats":
+		case tok == "stats":
 			mws = append(mws, WithStats())
 			hasStats = true
-		case "guard":
+		case tok == "guard":
 			mws = append(mws, WithGuard(opts.Guard))
 			hasGuard = true
-		case "":
+		case tok == "diskcache" || strings.HasPrefix(tok, "diskcache("):
+			path, err := parseDiskToken(tok, spec)
+			if err != nil {
+				return nil, err
+			}
+			if path == "" && opts.CacheDir == "" {
+				return nil, fmt.Errorf("eval: %q in spec %q needs a path (diskcache(path=FILE)) or a cache directory (-cache-dir)", tok, spec)
+			}
+			mws = append(mws, disk(path))
+			hasDisk = true
+		case tok == "":
 			return nil, fmt.Errorf("eval: empty middleware token in spec %q", spec)
 		default:
-			return nil, fmt.Errorf("eval: unknown middleware %q in spec %q (middlewares: cache, guard, stats)", tok, spec)
+			return nil, fmt.Errorf("eval: unknown middleware %q in spec %q (middlewares: cache, diskcache(path=FILE), guard, stats)", tok, spec)
 		}
+	}
+	if opts.CacheDir != "" && !hasDisk {
+		mws = append([]Middleware{disk("")}, mws...)
 	}
 	if opts.EnsureStats && !hasStats {
 		mws = append([]Middleware{WithStats()}, mws...)
@@ -137,6 +173,20 @@ func FromSpec(spec string, opts SpecOptions) (*Pipeline, error) {
 		}
 	}
 	return p, nil
+}
+
+// parseDiskToken extracts the optional path argument of a diskcache
+// spec token: "" for bare "diskcache", FILE for "diskcache(path=FILE)".
+func parseDiskToken(tok, spec string) (string, error) {
+	if tok == "diskcache" {
+		return "", nil
+	}
+	inner, closed := strings.CutSuffix(strings.TrimPrefix(tok, "diskcache("), ")")
+	path, hasPath := strings.CutPrefix(inner, "path=")
+	if !closed || !hasPath || path == "" {
+		return "", fmt.Errorf("eval: malformed %q in spec %q (want diskcache(path=FILE))", tok, spec)
+	}
+	return path, nil
 }
 
 // MustFromSpec is FromSpec for static specs known to be valid; it panics

@@ -21,7 +21,7 @@ func TestFromSpecRejectsMalformedSpecs(t *testing.T) {
 			t.Fatalf("spec %q accepted", spec)
 		}
 	}
-	if _, err := FromSpec("maestro,turbo", SpecOptions{}); !strings.Contains(err.Error(), "cache, guard, stats") {
+	if _, err := FromSpec("maestro,turbo", SpecOptions{}); !strings.Contains(err.Error(), "cache, diskcache(path=FILE), guard, stats") {
 		t.Fatalf("unknown-middleware error %v does not list the valid tokens", err)
 	}
 }

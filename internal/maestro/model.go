@@ -130,6 +130,16 @@ func New() *Model { return &Model{} }
 // Name identifies the model in cross-validation reports (§VII-F).
 func (*Model) Name() string { return "maestro" }
 
+// CostModelVersion is bumped on ANY change to the analytical cost
+// math or to the Cost struct layout: it feeds the persistent eval
+// cache's record keys, so bumping it cleanly invalidates every on-disk
+// result the old model produced.
+const CostModelVersion = "cost-v1"
+
+// ModelFingerprint identifies this backend's cost model for persistent
+// caching (see eval.BackendFingerprint).
+func (*Model) ModelFingerprint() string { return "maestro/" + CostModelVersion }
+
 // dependence sets of the three tensors over the seven loop dimensions.
 var (
 	depInput  = dimSet(workload.DimN, workload.DimC, workload.DimX, workload.DimY, workload.DimR, workload.DimS)

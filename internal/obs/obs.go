@@ -70,6 +70,7 @@ const (
 	CacheHit     EventType = "cache.hit"         //
 	CacheMiss    EventType = "cache.miss"        //
 	CachePanic   EventType = "cache.leaderpanic" //
+	CachePersist EventType = "cache.persist"     // Detail: hit|append|recovered|readonly|invalidated|degraded; N: record count where relevant
 	GuardRetry   EventType = "guard.retry"       // N: attempt; Detail: fault class
 	GuardTimeout EventType = "guard.timeout"     // DurMS: configured bound; Detail: bound string
 )
@@ -104,6 +105,7 @@ var schema = map[EventType]eventRule{
 	CacheHit:       {},
 	CacheMiss:      {},
 	CachePanic:     {},
+	CachePersist:   {detail: true},
 	GuardRetry:     {detail: true},
 	GuardTimeout:   {detail: true},
 }

@@ -57,6 +57,19 @@ func NewBackend(opts Options) *Backend {
 // Name implements the evaluator contract.
 func (*Backend) Name() string { return "sim-hybrid" }
 
+// simVersion is bumped on any change to the simulation math or the
+// simulate/fallback decision, either of which changes what a cached
+// result would contain.
+const simVersion = "sim-v1"
+
+// ModelFingerprint identifies this backend's cost model for persistent
+// caching. The hybrid falls back to the analytical model, so its
+// fingerprint incorporates maestro's: a maestro change invalidates
+// sim-hybrid stores too.
+func (*Backend) ModelFingerprint() string {
+	return "sim-hybrid/" + simVersion + "+maestro/" + maestro.CostModelVersion
+}
+
 // event reports one path decision to the sink, if any.
 func (b *Backend) event(name string) {
 	if b.Events != nil {

@@ -52,6 +52,14 @@ func New() *Model { return &Model{} }
 // Name identifies the model in cross-validation reports.
 func (*Model) Name() string { return "timeloop" }
 
+// timeloopVersion is bumped on any change to this model's cost math,
+// invalidating persistent cache entries it produced.
+const timeloopVersion = "cost-v1"
+
+// ModelFingerprint identifies this backend's cost model for persistent
+// caching (see eval.BackendFingerprint).
+func (*Model) ModelFingerprint() string { return "timeloop/" + timeloopVersion }
+
 // Evaluate estimates the cost of the design. It shares the Cost type with
 // the primary model so results are directly comparable, and wraps
 // maestro.ErrInvalid for out-of-capacity schedules (with double-buffering
