@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race chaos tracesmoke batchsmoke crashsmoke bench ci
+.PHONY: all build test lint vet fmt race chaos tracesmoke batchsmoke crashsmoke servesmoke bench ci
 
 all: build test lint
 
@@ -83,6 +83,34 @@ crashsmoke:
 	/tmp/tracestat -check /tmp/warm.jsonl
 	/tmp/tracestat /tmp/warm.jsonl | grep "persistent cache:"
 
+# servesmoke proves the engine-relocation invariant end to end over
+# HTTP: a fig6 CSV produced by spotlightd is byte-identical to the one
+# cmd/experiments writes with the same spec, the SSE trace stream closes
+# with `event: end`, a duplicate submission is served from the shared
+# pipeline's cache (trace.cache.hit on /metrics), and SIGTERM drains to
+# a clean exit. Mirrors the CI step.
+servesmoke:
+	$(GO) build -o /tmp/experiments ./cmd/experiments
+	$(GO) build -o /tmp/spotlightd ./cmd/spotlightd
+	/tmp/experiments -fig 6 -models MobileNetV2 -hw 4 -sw 6 -trials 1 -eval sim,cache,stats -out /tmp/clifig6
+	set -e; \
+	/tmp/spotlightd -addr 127.0.0.1:7077 -jobs 2 & SD=$$!; \
+	trap 'kill $$SD 2>/dev/null || true' EXIT; \
+	for i in $$(seq 50); do curl -sf http://127.0.0.1:7077/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	curl -sf http://127.0.0.1:7077/healthz >/dev/null; \
+	BODY='{"kind":"experiment","steps":["fig6"],"models":["MobileNetV2"],"hw_samples":4,"sw_samples":6,"trials":1,"eval":"sim,cache,stats"}'; \
+	curl -sf -X POST http://127.0.0.1:7077/jobs -d "$$BODY" >/dev/null; \
+	curl -sf -X POST http://127.0.0.1:7077/jobs -d "$$BODY" >/dev/null; \
+	curl -sN http://127.0.0.1:7077/jobs/job-1/trace | grep -q '^event: end'; \
+	for i in $$(seq 300); do curl -s http://127.0.0.1:7077/jobs/job-2 | grep -q '"state": "done"' && break; sleep 0.5; done; \
+	curl -s http://127.0.0.1:7077/jobs/job-2 | grep -q '"state": "done"'; \
+	curl -sf http://127.0.0.1:7077/jobs/job-1/artifacts/fig6.csv > /tmp/served1.csv; \
+	curl -sf http://127.0.0.1:7077/jobs/job-2/artifacts/fig6.csv > /tmp/served2.csv; \
+	curl -sf http://127.0.0.1:7077/metrics | grep -q 'trace.cache.hit'; \
+	kill -TERM $$SD; wait $$SD
+	cmp /tmp/clifig6/fig6.csv /tmp/served1.csv
+	cmp /tmp/clifig6/fig6.csv /tmp/served2.csv
+
 # bench runs the batching benchmarks at measurement length and records
 # them in BENCH_6.json next to the frozen pre-batching baseline (the
 # "before" block below was measured at the seed of the batching change
@@ -119,4 +147,4 @@ bench:
 	  }' /tmp/bench6.txt > BENCH_6.json
 	cat BENCH_6.json
 
-ci: lint build test race chaos tracesmoke batchsmoke crashsmoke
+ci: lint build test race chaos tracesmoke batchsmoke crashsmoke servesmoke

@@ -3,6 +3,11 @@
 // and emits the optimized accelerator configuration and per-layer
 // software schedules, plus an optional CSV convergence history.
 //
+// It is a thin adapter over internal/engine — flag parsing, file I/O,
+// and exit codes live here; the orchestration (spec→config translation,
+// checkpoint/resume, signal semantics, result rendering) is the same
+// engine code spotlightd serves over HTTP.
+//
 // Examples:
 //
 //	spotlight -models ResNet-50 -objective delay
@@ -17,19 +22,13 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"os/signal"
-	"sort"
-	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"spotlight/internal/core"
+	"spotlight/internal/engine"
 	"spotlight/internal/eval"
-	"spotlight/internal/exp"
 	"spotlight/internal/hw"
-	"spotlight/internal/obs"
-	"spotlight/internal/search"
 	"spotlight/internal/workload"
 )
 
@@ -72,50 +71,11 @@ func run() error {
 	)
 	flag.Parse()
 
-	tele, err := obs.StartTelemetry(*traceFile, *metricsAddr)
+	tele, closeTele, err := engine.StartCLITelemetry("spotlight", *traceFile, *metricsAddr, os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if cerr := tele.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "spotlight: trace:", cerr)
-		} else if *traceFile != "" {
-			fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", tele.Events(), *traceFile)
-		}
-	}()
-	if tele.Addr != "" {
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", tele.Addr)
-	}
-
-	var models []workload.Model
-	for _, name := range strings.Split(*modelsFlag, ",") {
-		m, err := workload.ByName(strings.TrimSpace(name))
-		if err != nil {
-			return err
-		}
-		models = append(models, m)
-	}
-
-	var space hw.Space
-	var budget hw.Budget
-	switch *scale {
-	case "edge":
-		space, budget = hw.EdgeSpace(), hw.EdgeBudget()
-	case "cloud":
-		space, budget = hw.CloudSpace(), hw.CloudBudget()
-	default:
-		return fmt.Errorf("unknown scale %q", *scale)
-	}
-
-	var obj core.Objective
-	switch *objective {
-	case "delay":
-		obj = core.MinDelay
-	case "edp":
-		obj = core.MinEDP
-	default:
-		return fmt.Errorf("unknown objective %q", *objective)
-	}
+	defer closeTele()
 
 	// The whole evaluation stack — backend, memo cache, fault guard,
 	// stats — is assembled by internal/eval from one spec string.
@@ -142,8 +102,7 @@ func run() error {
 	if err != nil {
 		// An unknown backend is a usage error: say what exists and how
 		// to ask for it, instead of a bare failure.
-		var unknown *eval.UnknownBackendError
-		if errors.As(err, &unknown) {
+		if unknown, ok := engine.IsUnknownBackend(err); ok {
 			fmt.Fprintf(os.Stderr, "spotlight: %v\n\n", unknown)
 			flag.Usage()
 			os.Exit(2)
@@ -164,7 +123,16 @@ func run() error {
 		}
 	}
 
+	obj, err := engine.ResolveObjective(*objective)
+	if err != nil {
+		return err
+	}
+
 	if *reevaluate != "" {
+		models, err := engine.ResolveModels(strings.Split(*modelsFlag, ","))
+		if err != nil {
+			return err
+		}
 		if err := reevaluateDesign(*reevaluate, pipe, obj, models); err != nil {
 			return err
 		}
@@ -172,47 +140,40 @@ func run() error {
 		return nil
 	}
 
-	strat, err := strategyByName(*strategy)
-	if err != nil {
-		return err
-	}
-
-	cfg := core.RunConfig{
-		Models:       models,
-		Space:        space,
-		Budget:       budget,
-		Objective:    obj,
+	jobSpec := engine.JobSpec{
+		Kind:         engine.KindSearch,
+		Models:       strings.Split(*modelsFlag, ","),
+		Scale:        *scale,
+		Objective:    *objective,
+		Strategy:     *strategy,
 		HWSamples:    *hwSamples,
 		SWSamples:    *swSamples,
 		Seed:         *seed,
-		Eval:         pipe,
+		Eval:         spec,
 		Workers:      *workers,
-		Tracer:       tele.Tracer,
 		DisableBatch: *noBatch,
 	}
+	opts := engine.SearchOptions{Eval: pipe, Tracer: tele.Tracer}
 	if *resumeFrom != "" {
 		cp, err := core.ReadCheckpointFile(*resumeFrom)
 		if err != nil {
 			return err
 		}
-		cfg.Resume = cp
+		opts.Resume = cp
 		fmt.Printf("resuming from %s (%d hardware samples done)\n", *resumeFrom, cp.Samples)
 	}
-	var lastCP *core.Checkpoint
+	var cper *engine.FileCheckpointer
 	if *checkpoint != "" {
-		cfg.OnCheckpoint = func(cp *core.Checkpoint) error {
-			lastCP = cp
-			return core.WriteCheckpointFile(*checkpoint, cp)
-		}
+		cper = &engine.FileCheckpointer{Path: *checkpoint}
+		opts.OnCheckpoint = cper.OnCheckpoint
 	}
 
 	// SIGINT, SIGTERM (and -timeout) stop the search cooperatively: the
 	// run finishes its current hardware sample's bookkeeping, the last
 	// checkpoint on disk stays valid, the disk-cache journal is flushed
 	// and closed by the deferred handlers above, and the partial result
-	// is reported. SIGTERM matters for batch schedulers and container
-	// runtimes, which send it (not SIGINT) before killing.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// is reported.
+	ctx, stop := engine.ShutdownContext(context.Background())
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -220,16 +181,16 @@ func run() error {
 		defer cancel()
 	}
 
-	res, err := core.RunContext(ctx, cfg, strat)
+	res, err := engine.RunSearch(ctx, jobSpec, opts)
 	if err != nil {
 		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "spotlight:", err)
-		if *checkpoint != "" && lastCP != nil {
-			if werr := core.WriteCheckpointFile(*checkpoint, lastCP); werr != nil {
+		if cper != nil {
+			if saved, werr := cper.SaveLast(); werr != nil {
 				fmt.Fprintln(os.Stderr, "spotlight: saving final checkpoint:", werr)
-			} else {
+			} else if saved {
 				fmt.Fprintf(os.Stderr, "spotlight: checkpoint saved; continue with -resume %s\n", *checkpoint)
 			}
 		}
@@ -241,20 +202,28 @@ func run() error {
 		}
 		fmt.Printf("partial result after %d of %d hardware samples:\n", len(res.History), *hwSamples)
 	}
-	report(res, obj, *verbose)
+	fmt.Print(engine.SearchReport(res, obj, *verbose))
 	reportStats()
 	if *frontier {
+		_, budget, err := engine.ResolveScale(*scale)
+		if err != nil {
+			return err
+		}
 		reportFrontier(res, budget)
 	}
 
 	if *historyCSV != "" {
-		if err := writeHistory(*historyCSV, res); err != nil {
+		if err := writeFile(*historyCSV, engine.HistoryCSV(res)); err != nil {
 			return err
 		}
 		fmt.Printf("history written to %s\n", *historyCSV)
 	}
 	if *jsonOut != "" {
-		if err := writeDesign(*jsonOut, res, obj); err != nil {
+		data, err := engine.DesignJSON(res, obj)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*jsonOut, data); err != nil {
 			return err
 		}
 		fmt.Printf("design written to %s\n", *jsonOut)
@@ -262,80 +231,19 @@ func run() error {
 	return nil
 }
 
-// writeDesign exports the winning design as JSON. The close error is
-// checked — on many filesystems it is where a write failure surfaces —
-// so "design written" is never printed for a file that did not land.
-func writeDesign(path string, res core.Result, obj core.Objective) error {
+// writeFile writes an artifact, checking Close — on many filesystems it
+// is where a write failure surfaces — so "written to" is never printed
+// for a file that did not land.
+func writeFile(path string, data []byte) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := core.WriteJSON(f, core.Export(res.Tool, obj, res.Best)); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close() //lint:allow closecheck(the write already failed; that error is reported instead)
 		return err
 	}
 	return f.Close()
-}
-
-func strategyByName(name string) (core.Strategy, error) {
-	switch name {
-	case "spotlight":
-		return core.NewSpotlight(), nil
-	case "spotlight-v":
-		return core.NewSpotlightV(), nil
-	case "spotlight-a":
-		return core.NewSpotlightA(), nil
-	case "spotlight-f":
-		return core.NewSpotlightF(), nil
-	case "random":
-		return search.NewRandom(), nil
-	case "ga":
-		return search.NewGenetic(), nil
-	case "confuciux":
-		return search.NewConfuciuX(), nil
-	case "hasco":
-		return search.NewHASCO(), nil
-	}
-	return nil, fmt.Errorf("unknown strategy %q", name)
-}
-
-func report(res core.Result, obj core.Objective, verbose bool) {
-	fmt.Printf("tool:      %s\n", res.Tool)
-	fmt.Printf("objective: %s = %.6g\n", obj, res.Best.Objective)
-	fmt.Printf("accel:     %s\n", res.Best.Accel)
-	fmt.Printf("area:      %.2f mm²   peak power: %.1f mW\n",
-		res.Best.Accel.AreaMM2(), res.Best.Accel.PeakPowerMW())
-	for _, line := range modelObjectiveLines(obj, res.Best) {
-		fmt.Print(line)
-	}
-	if !verbose {
-		return
-	}
-	fmt.Println("schedules:")
-	for _, lr := range res.Best.Layers {
-		fmt.Printf("  %-10s %-16s delay=%.4g cycles  energy=%.4g nJ  util=%.2f\n",
-			lr.Model, lr.Layer.Name, lr.Cost.DelayCycles, lr.Cost.EnergyNJ, lr.Cost.Utilization)
-		fmt.Printf("             %s\n", lr.Schedule)
-	}
-}
-
-// modelObjectiveLines renders the per-model objective breakdown in
-// model-name order. core.ModelObjectives returns a map, and ranging over
-// it directly (as report once did) printed multi-model runs in a
-// different order every invocation — breaking the byte-identical-stdout
-// determinism contract the verify flows diff against.
-func modelObjectiveLines(obj core.Objective, d core.Design) []string {
-	objs := core.ModelObjectives(obj, d)
-	models := make([]string, 0, len(objs))
-	for m := range objs {
-		models = append(models, m)
-	}
-	sort.Strings(models)
-	lines := make([]string, 0, len(models))
-	for _, m := range models {
-		lines = append(lines, fmt.Sprintf("  %-14s %s = %.6g\n", m, obj, objs[m]))
-	}
-	return lines
 }
 
 // reevaluateDesign loads a previously exported design and re-costs its
@@ -410,25 +318,4 @@ func reportFrontier(res core.Result, budget hw.Budget) {
 	if pick, ok := fr.SelectWithinBudget(budget); ok {
 		fmt.Printf("budget-closest selection: obj=%.5g %s\n", pick.Objective, pick.Accel)
 	}
-}
-
-func writeHistory(path string, res core.Result) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	rows := make([][]string, 0, len(res.History))
-	for _, h := range res.History {
-		rows = append(rows, []string{
-			strconv.Itoa(h.Sample),
-			strconv.FormatFloat(h.Elapsed.Seconds(), 'g', 6, 64),
-			strconv.FormatFloat(h.Value, 'g', 6, 64),
-			strconv.FormatFloat(h.BestSoFar, 'g', 6, 64),
-		})
-	}
-	if err := exp.WriteTable(f, []string{"sample", "elapsed_s", "value", "best_so_far"}, rows); err != nil {
-		f.Close() //lint:allow closecheck(the write already failed; that error is reported instead)
-		return err
-	}
-	return f.Close()
 }

@@ -1,0 +1,18 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestExitCheck proves every process-killing reference form is flagged
+// in library code — os.Exit called and passed as a value, the log
+// package's Fatal family, and *log.Logger's Fatal methods — that
+// non-fatal logging and annotated sites stay silent, and that the two
+// sanctioned trees (cmd/, examples/) are exempt.
+func TestExitCheck(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.ExitCheck,
+		"badsvc", "spotlight/cmd/goodtool", "spotlight/examples/demo")
+}

@@ -20,6 +20,8 @@
 //     checkpoint encoding outside the sanctioned hygiene helpers.
 //   - closecheck: no discarded Close/Sync errors in the packages that
 //     write durable state (journal, checkpoints, result artifacts).
+//   - exitcheck: no os.Exit or log.Fatal* outside cmd/ and examples/
+//     packages — a service must never be killed by library code.
 //
 // Any finding can be suppressed with an inline or preceding-line
 // annotation naming its reason: //lint:allow wallclock(latency counter).
@@ -64,8 +66,11 @@ var deterministicPackages = []string{
 // map-iteration order must not leak into them.
 var outputPackages = append([]string{
 	"spotlight/internal/exp",
+	"spotlight/internal/engine",
+	"spotlight/internal/serve",
 	"spotlight/cmd/spotlight",
 	"spotlight/cmd/experiments",
+	"spotlight/cmd/spotlightd",
 	"spotlight/cmd/modelinfo",
 	"spotlight/cmd/tracestat",
 }, deterministicPackages...)
@@ -106,5 +111,6 @@ func Analyzers() []*lintkit.Analyzer {
 		FloatEq,
 		NonFinite,
 		CloseCheck,
+		ExitCheck,
 	}
 }

@@ -1,0 +1,39 @@
+// Package badsvc is library code that tries to kill the process: every
+// os.Exit / log.Fatal* reference form must be flagged, and the annotated
+// site must not.
+package badsvc
+
+import (
+	"log"
+	"os"
+)
+
+func direct() {
+	os.Exit(1) // want "os.Exit outside a cmd/ or examples/ package"
+}
+
+func packageFatal() {
+	log.Fatal("boom")          // want "log.Fatal outside a cmd/ or examples/ package"
+	log.Fatalf("boom: %d", 1)  // want "log.Fatalf outside a cmd/ or examples/ package"
+	log.Fatalln("boom", "now") // want "log.Fatalln outside a cmd/ or examples/ package"
+}
+
+func loggerMethod(l *log.Logger) {
+	l.Fatalf("boom: %d", 2) // want "log.Fatalf outside a cmd/ or examples/ package"
+}
+
+// asValue passes the capability instead of calling it — same escape.
+func asValue() func(int) {
+	return os.Exit // want "os.Exit outside a cmd/ or examples/ package"
+}
+
+// printfIsFine: only the Fatal* family terminates the process.
+func printfIsFine(l *log.Logger) {
+	log.Printf("fine")
+	l.Printf("fine")
+}
+
+// annotated proves the escape hatch; the reason is mandatory.
+func annotated() {
+	os.Exit(3) //lint:allow exitcheck(fixture: proves the escape hatch)
+}

@@ -1,0 +1,9 @@
+// Package demo sits under examples/, the other tree allowed to
+// terminate: teaching code keeps its error handling short.
+package demo
+
+import "os"
+
+func Fail() {
+	os.Exit(1)
+}

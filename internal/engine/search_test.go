@@ -1,4 +1,4 @@
-package main
+package engine
 
 import (
 	"reflect"
@@ -10,7 +10,7 @@ import (
 	"spotlight/internal/workload"
 )
 
-// modelObjectiveLines replaced a direct range over core.ModelObjectives'
+// ModelObjectiveLines replaced a direct range over core.ModelObjectives'
 // map, which printed multi-model breakdowns in a random order per run.
 // With seven models, 50 consecutive identical orderings cannot happen by
 // accident under map iteration, so this pins the fix.
@@ -23,7 +23,7 @@ func TestModelObjectiveLinesDeterministicAndSorted(t *testing.T) {
 			Cost:  maestro.Cost{DelayCycles: float64(100 + i), EnergyNJ: float64(10 + i)},
 		})
 	}
-	first := modelObjectiveLines(core.MinDelay, d)
+	first := ModelObjectiveLines(core.MinDelay, d)
 	if len(first) != 7 {
 		t.Fatalf("got %d lines, want 7", len(first))
 	}
@@ -35,7 +35,7 @@ func TestModelObjectiveLinesDeterministicAndSorted(t *testing.T) {
 		}
 	}
 	for i := 0; i < 50; i++ {
-		if again := modelObjectiveLines(core.MinDelay, d); !reflect.DeepEqual(first, again) {
+		if again := ModelObjectiveLines(core.MinDelay, d); !reflect.DeepEqual(first, again) {
 			t.Fatalf("iteration %d produced different line order:\n%v\nvs\n%v", i, first, again)
 		}
 	}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// The repo has two legitimate shutdown-signal idioms, and before this
+// file each CLI carried its own copy:
+//
+//   - Cooperative: cmd/spotlight turns SIGINT/SIGTERM into context
+//     cancellation; core.RunContext stops at the next sample boundary,
+//     deferred handlers flush the disk-cache journal and trace sink, and
+//     the partial result is reported. ShutdownContext is that idiom.
+//   - Flush-and-exit: cmd/experiments' figure drivers have no
+//     cancellation plumbing, so its handler flushes durable state (the
+//     evaluation journal, the trace sink) and exits immediately.
+//     FlushOnSignal is that idiom.
+//
+// The duplicated copies had drifted: the experiments handler exited 130
+// for every signal, misreporting SIGTERM (whose conventional status is
+// 143) as SIGINT to batch schedulers that distinguish them. ExitCode
+// fixes that drift in the one shared implementation.
+
+// ShutdownContext returns a context canceled on SIGINT or SIGTERM (and
+// when the parent is canceled). SIGTERM matters for batch schedulers and
+// container runtimes, which send it — not SIGINT — before killing. The
+// returned stop func releases the signal registration.
+func ShutdownContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Flusher is one named cleanup step run by FlushOnSignal before exit:
+// typically a pipeline's journal flush or a trace sink close.
+type Flusher struct {
+	Name  string
+	Flush func() error
+}
+
+// ExitCode returns the conventional exit status for dying to a fatal
+// signal: 128 + the signal number (130 for SIGINT, 143 for SIGTERM),
+// or 1 for anything unrecognized.
+func ExitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
+}
+
+// FlushOnSignal installs a SIGINT/SIGTERM handler that runs the flushers
+// in order — reporting each failure to stderr as "<prog>: <name>: <err>"
+// but never stopping early, since every flusher guards independent
+// durable state — and then calls exit with the signal's conventional
+// status. exit is a parameter (the CLIs pass os.Exit) both for
+// testability and because killing the process is an entry-point
+// decision: library code, this package included, must not call os.Exit
+// (enforced by spotlightlint's exitcheck).
+//
+// The returned stop func uninstalls the handler; callers defer it so a
+// normal exit path stops racing the signal goroutine. Flushers must
+// tolerate being called concurrently with (or after) the main goroutine's
+// own cleanup — eval.Pipeline.Close and obs.Telemetry.Close both do.
+func FlushOnSignal(prog string, stderr io.Writer, exit func(int), flushers ...Flusher) (stop func()) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(stderr, "%s: %v: flushing durable state before exit\n", prog, sig)
+			for _, f := range flushers {
+				if err := f.Flush(); err != nil {
+					fmt.Fprintf(stderr, "%s: %s: %v\n", prog, f.Name, err)
+				}
+			}
+			exit(ExitCode(sig))
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(sigc)
+		close(done)
+	}
+}

@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"spotlight/internal/obs"
+)
+
+// StartCLITelemetry opens the telemetry bundle a CLI's -trace and
+// -metrics-addr flags ask for and returns it together with the shared
+// shutdown hook both CLIs used to duplicate: the returned closer flushes
+// the sinks, reports a sticky trace-write error as "<prog>: trace: ...",
+// and otherwise prints the final event count for a -trace run. The
+// metrics banner is printed immediately, since the bound address (":0"
+// picks a port) is only interesting while the process is alive.
+func StartCLITelemetry(prog, traceFile, metricsAddr string, stderr io.Writer) (*obs.Telemetry, func(), error) {
+	tele, err := obs.StartTelemetry(traceFile, metricsAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tele.Addr != "" {
+		fmt.Fprintf(stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", tele.Addr)
+	}
+	closeAndReport := func() {
+		if cerr := tele.Close(); cerr != nil {
+			fmt.Fprintf(stderr, "%s: trace: %v\n", prog, cerr)
+		} else if traceFile != "" {
+			fmt.Fprintf(stderr, "trace: %d events written to %s\n", tele.Events(), traceFile)
+		}
+	}
+	return tele, closeAndReport, nil
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"spotlight/internal/obs"
+)
+
+// TraceBuffer is an in-memory obs.Tracer that retains a job's full event
+// stream and lets subscribers (spotlightd's SSE handler) replay it from
+// any position and block for more. It is the server-side counterpart of
+// the -trace JSONL file: events carry the same stamps the JSONL sink
+// would give them — Seq is a per-buffer monotone sequence, TMS is
+// milliseconds since the buffer (i.e. the job) started — so the SSE wire
+// format is the obs taxonomy verbatim, one JSON object per data line.
+//
+// Retention is unbounded by design: a job's trace is its run log, and
+// the quick-scale jobs spotlightd serves emit thousands of events, not
+// millions. Tracing stays observe-only — the buffer never feeds anything
+// back into the run.
+type TraceBuffer struct {
+	start time.Time
+
+	mu      sync.Mutex
+	events  []obs.Event
+	done    bool
+	changed chan struct{} // closed and replaced on every append/End
+}
+
+// NewTraceBuffer returns an empty buffer whose TMS clock starts now.
+func NewTraceBuffer() *TraceBuffer {
+	return &TraceBuffer{start: obs.Now(), changed: make(chan struct{})}
+}
+
+// Enabled reports true: a buffer exists to record.
+func (b *TraceBuffer) Enabled() bool { return true }
+
+// Emit stamps and appends one event. Safe for concurrent use; events
+// after End are dropped (the job is already terminal and subscribers
+// have been released).
+func (b *TraceBuffer) Emit(e obs.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	e.Seq = int64(len(b.events) + 1)
+	e.TMS = obs.MS(obs.Since(b.start))
+	b.events = append(b.events, e)
+	b.notifyLocked()
+}
+
+// End marks the stream complete, waking every subscriber. Idempotent.
+func (b *TraceBuffer) End() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	b.done = true
+	b.notifyLocked()
+}
+
+// notifyLocked wakes blocked subscribers by closing the current change
+// channel and installing a fresh one. Callers hold b.mu.
+func (b *TraceBuffer) notifyLocked() {
+	close(b.changed)
+	b.changed = make(chan struct{})
+}
+
+// Since returns the events at positions >= i, whether the stream has
+// ended, and a channel that closes on the next change. A subscriber
+// loop is:
+//
+//	for i := 0; ; {
+//		evs, done, more := buf.Since(i)
+//		... write evs ...
+//		i += len(evs)
+//		if done && len(evs) == 0 { return }
+//		if len(evs) == 0 { <-more }  // or select against the client ctx
+//	}
+//
+// The returned slice is capped at its length, so the buffer appending
+// more events never aliases into what a subscriber is still writing.
+func (b *TraceBuffer) Since(i int) (events []obs.Event, done bool, more <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i > len(b.events) {
+		i = len(b.events)
+	}
+	return b.events[i:len(b.events):len(b.events)], b.done, b.changed
+}
+
+// Len returns the number of events recorded so far.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}

@@ -29,17 +29,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		// The snapshot is consistent per metric; an error here means the
-		// client hung up, which is its problem, not the run's.
-		_ = reg.WriteJSON(w)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	Mount(mux, reg)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{Addr: ln.Addr().String(), srv: srv}
 	go func() {
@@ -52,3 +42,24 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 
 // Close stops the server immediately.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Mount registers the introspection handlers on mux:
+//
+//	/metrics        the registry snapshot as indented JSON
+//	/debug/pprof/*  the standard Go profiling handlers
+//
+// Serve uses it on a private mux; spotlightd mounts the same endpoints
+// alongside its job API so one address serves both.
+func Mount(mux *http.ServeMux, reg *Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// The snapshot is consistent per metric; an error here means the
+		// client hung up, which is its problem, not the run's.
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

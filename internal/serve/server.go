@@ -1,0 +1,234 @@
+// Package serve is spotlightd's HTTP layer: a thin JSON/SSE adapter over
+// engine.Runner. It owns no orchestration — submission, queueing,
+// cancellation, resume, and artifact retention all live in the engine —
+// so everything here is request decoding, status-code mapping, and
+// streaming.
+//
+// API (see DESIGN.md §14):
+//
+//	POST /jobs                       submit a JobSpec, returns its status
+//	GET  /jobs                       list all jobs, submission order
+//	GET  /jobs/{id}                  one job's status
+//	POST /jobs/{id}/cancel           cancel (409 once terminal)
+//	POST /jobs/{id}/resume           continue a terminal search job from
+//	                                 its retained checkpoint
+//	GET  /jobs/{id}/trace            SSE stream of the job's trace events
+//	GET  /jobs/{id}/artifacts/{name} one artifact's bytes (e.g. fig6.csv)
+//	GET  /healthz                    liveness
+//	GET  /metrics, /debug/pprof/*    the PR 5 introspection endpoints
+//
+// The SSE wire format is the internal/obs JSONL taxonomy verbatim: each
+// `data:` line is one obs.Event marshaled exactly as the -trace file
+// would hold it, so tracestat-style consumers parse either source. The
+// stream ends with an `event: end` message whose data is the job's final
+// state.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"spotlight/internal/engine"
+	"spotlight/internal/obs"
+)
+
+// Server adapts an engine.Runner to HTTP.
+type Server struct {
+	runner *engine.Runner
+	mux    *http.ServeMux
+}
+
+// New builds the server and its routes. reg, if non-nil, gets the
+// /metrics and /debug/pprof/* endpoints mounted alongside the job API.
+func New(runner *engine.Runner, reg *obs.Registry) *Server {
+	s := &Server{runner: runner, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.submit)
+	s.mux.HandleFunc("GET /jobs", s.list)
+	s.mux.HandleFunc("GET /jobs/{id}", s.status)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
+	s.mux.HandleFunc("POST /jobs/{id}/resume", s.resume)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.trace)
+	s.mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.artifact)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if reg != nil {
+		obs.Mount(s.mux, reg)
+	}
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// errorBody is the JSON error envelope. Backends is set only for
+// unknown-backend submissions, so the client learns what exists.
+type errorBody struct {
+	Error    string   `json:"error"`
+	Backends []string `json:"backends,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error here means the client hung up; there is no one
+	// left to tell.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	body := errorBody{Error: err.Error()}
+	if unknown, ok := engine.IsUnknownBackend(err); ok {
+		body.Backends = unknown.Registered
+	}
+	writeJSON(w, code, body)
+}
+
+// submit decodes a JobSpec strictly — unknown fields are a 400, catching
+// typos like "step" for "steps" before they silently change a run — and
+// enqueues it.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec engine.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	job, err := s.runner.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, engine.ErrShuttingDown) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, job.Status())
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.runner.Jobs()
+	statuses := make([]engine.JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, j.Status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.runner.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, engine.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	err := s.runner.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "canceling"})
+	case errors.Is(err, engine.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, engine.ErrJobFinished):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) resume(w http.ResponseWriter, r *http.Request) {
+	job, err := s.runner.Resume(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, job.Status())
+	case errors.Is(err, engine.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, engine.ErrNotResumable):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, engine.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// trace streams the job's events as SSE. Events already buffered are
+// replayed first, then the stream follows the job live until it reaches
+// a terminal state, closing with `event: end` and the final state. The
+// handler returns when the client disconnects or the job ends.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.runner.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, engine.ErrNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("serve: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	buf := job.Trace()
+	for i := 0; ; {
+		events, done, more := buf.Since(i)
+		for _, e := range events {
+			line, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+				return // client went away
+			}
+		}
+		if len(events) > 0 {
+			flusher.Flush()
+		}
+		i += len(events)
+		if done && len(events) == 0 {
+			fmt.Fprintf(w, "event: end\ndata: %s\n\n", job.Status().State)
+			flusher.Flush()
+			return
+		}
+		if len(events) == 0 {
+			select {
+			case <-more:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.runner.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, engine.ErrNotFound)
+		return
+	}
+	name := r.PathValue("name")
+	data, ok := job.Artifact(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: job %s has no artifact %q", job.ID(), name))
+		return
+	}
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		w.Header().Set("Content-Type", "application/json")
+	default:
+		w.Header().Set("Content-Type", "text/csv")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spotlight/internal/engine"
+	"spotlight/internal/obs"
+)
+
+// newTestServer stands up a server over a fresh single-worker runner.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	r := engine.NewRunner(engine.RunnerConfig{Concurrency: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return New(r, obs.NewRegistry())
+}
+
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) errorBody {
+	t.Helper()
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error response is not the JSON envelope: %v\n%s", err, rec.Body)
+	}
+	if body.Error == "" {
+		t.Fatalf("error response has empty error field: %s", rec.Body)
+	}
+	return body
+}
+
+// simcheckBody is the cheapest valid experiment submission (~1s).
+const simcheckBody = `{"kind":"experiment","steps":["simcheck"],"models":["Transformer"],"hw_samples":2,"sw_samples":4,"trials":1,"eval":"sim,cache"}`
+
+// submitAndWait submits a job over HTTP and polls its status endpoint
+// until it reaches a terminal state.
+func submitAndWait(t *testing.T, s *Server, body string) engine.JobStatus {
+	t.Helper()
+	rec := do(t, s, "POST", "/jobs", body)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("submit = %d, want 201\n%s", rec.Code, rec.Body)
+	}
+	var st engine.JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		rec = do(t, s, "GET", "/jobs/"+st.ID, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d\n%s", rec.Code, rec.Body)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case engine.StateDone, engine.StateFailed, engine.StateCanceled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never went terminal (still %s)", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSubmitMalformedJSON(t *testing.T) {
+	s := newTestServer(t)
+	for name, body := range map[string]string{
+		"truncated":     `{"kind":"experiment"`,
+		"not json":      `steps=fig6`,
+		"wrong type":    `{"kind":"experiment","steps":"fig6"}`,
+		"unknown field": `{"kind":"experiment","step":["fig6"]}`,
+	} {
+		rec := do(t, s, "POST", "/jobs", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: submit = %d, want 400\n%s", name, rec.Code, rec.Body)
+			continue
+		}
+		decodeError(t, rec)
+	}
+}
+
+// TestSubmitUnknownBackendListsRegistered: an unknown eval-spec token is
+// a 400 whose body names the backends that do exist — the
+// *eval.UnknownBackendError carried over the wire.
+func TestSubmitUnknownBackendListsRegistered(t *testing.T) {
+	s := newTestServer(t)
+	rec := do(t, s, "POST", "/jobs",
+		`{"kind":"experiment","steps":["simcheck"],"eval":"no-such-backend,cache"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("submit = %d, want 400\n%s", rec.Code, rec.Body)
+	}
+	body := decodeError(t, rec)
+	if len(body.Backends) == 0 {
+		t.Fatalf("unknown-backend error did not list registered backends: %s", rec.Body)
+	}
+	found := false
+	for _, b := range body.Backends {
+		if b == "maestro" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("backend list %v missing maestro", body.Backends)
+	}
+	if !strings.Contains(body.Error, "no-such-backend") {
+		t.Fatalf("error %q does not name the offending token", body.Error)
+	}
+}
+
+func TestSubmitInvalidSpec(t *testing.T) {
+	s := newTestServer(t)
+	rec := do(t, s, "POST", "/jobs", `{"kind":"experiment","steps":["fig99"]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("submit = %d, want 400\n%s", rec.Code, rec.Body)
+	}
+	decodeError(t, rec)
+}
+
+func TestCancelUnknownAndFinished(t *testing.T) {
+	s := newTestServer(t)
+	if rec := do(t, s, "POST", "/jobs/job-999/cancel", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("cancel unknown = %d, want 404\n%s", rec.Code, rec.Body)
+	}
+	st := submitAndWait(t, s, simcheckBody)
+	if st.State != engine.StateDone {
+		t.Fatalf("job state = %s (%s), want done", st.State, st.Error)
+	}
+	rec := do(t, s, "POST", "/jobs/"+st.ID+"/cancel", "")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("cancel finished = %d, want 409\n%s", rec.Code, rec.Body)
+	}
+	decodeError(t, rec)
+}
+
+func TestResumeRejections(t *testing.T) {
+	s := newTestServer(t)
+	if rec := do(t, s, "POST", "/jobs/job-999/resume", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("resume unknown = %d, want 404\n%s", rec.Code, rec.Body)
+	}
+	// Experiment jobs have no checkpoint: resume is a conflict.
+	st := submitAndWait(t, s, simcheckBody)
+	rec := do(t, s, "POST", "/jobs/"+st.ID+"/resume", "")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("resume experiment = %d, want 409\n%s", rec.Code, rec.Body)
+	}
+	decodeError(t, rec)
+}
+
+func TestStatusAndArtifactNotFound(t *testing.T) {
+	s := newTestServer(t)
+	if rec := do(t, s, "GET", "/jobs/job-999", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("status unknown = %d, want 404", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/jobs/job-999/artifacts/fig6.csv", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("artifact of unknown job = %d, want 404", rec.Code)
+	}
+	st := submitAndWait(t, s, simcheckBody)
+	rec := do(t, s, "GET", "/jobs/"+st.ID+"/artifacts/nope.csv", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown artifact = %d, want 404\n%s", rec.Code, rec.Body)
+	}
+	decodeError(t, rec)
+
+	rec = do(t, s, "GET", "/jobs/"+st.ID+"/artifacts/simcheck.csv", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("artifact = %d, want 200 (artifacts: %v)", rec.Code, st.Artifacts)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("artifact content type = %q, want text/csv", ct)
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatal("artifact body is empty")
+	}
+}
+
+func TestListAndHealthz(t *testing.T) {
+	s := newTestServer(t)
+	if rec := do(t, s, "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+	submitAndWait(t, s, simcheckBody)
+	rec := do(t, s, "GET", "/jobs", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list = %d, want 200", rec.Code)
+	}
+	var out struct {
+		Jobs []engine.JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 1 || out.Jobs[0].ID != "job-1" {
+		t.Fatalf("jobs = %+v, want exactly job-1", out.Jobs)
+	}
+}
+
+// TestTraceStreamIsJSONLTaxonomy: the SSE stream replays the whole trace,
+// every data line parses under the strict JSONL schema, and the stream
+// closes with `event: end` carrying the job's final state. The handler
+// is invoked synchronously — it returns once the job is terminal, so the
+// recorder holds the complete stream.
+func TestTraceStreamIsJSONLTaxonomy(t *testing.T) {
+	s := newTestServer(t)
+	if rec := do(t, s, "GET", "/jobs/job-999/trace", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("trace of unknown job = %d, want 404", rec.Code)
+	}
+	// fig6 rather than simcheck: the trace must actually carry search
+	// events for the schema check to mean anything.
+	submitAndWait(t, s, `{"kind":"experiment","steps":["fig6"],"models":["Transformer"],"hw_samples":2,"sw_samples":4,"trials":1,"eval":"sim,cache"}`)
+	rec := do(t, s, "GET", "/jobs/job-1/trace", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("trace content type = %q, want text/event-stream", ct)
+	}
+
+	var (
+		events  int
+		lastSeq int64
+		ended   bool
+		final   string
+	)
+	sc := bufio.NewScanner(rec.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: end":
+			ended = true
+		case strings.HasPrefix(line, "data: ") && ended:
+			final = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, "data: "):
+			ev, err := obs.ParseLine([]byte(strings.TrimPrefix(line, "data: ")))
+			if err != nil {
+				t.Fatalf("SSE data line is not a valid JSONL trace event: %v\n%s", err, line)
+			}
+			if ev.Seq != lastSeq+1 {
+				t.Fatalf("event seq %d follows %d; replay must be gapless and ordered", ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			events++
+		case line != "":
+			t.Fatalf("unexpected SSE line: %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("stream carried no trace events")
+	}
+	if !ended || final != string(engine.StateDone) {
+		t.Fatalf("stream end: ended=%v final=%q, want event: end with %q", ended, final, engine.StateDone)
+	}
+}
+
+// TestShutdownDrainsAndRefusesSubmissions: after the runner starts
+// draining, submissions are 503 but finished jobs stay queryable.
+func TestShutdownDrainsAndRefusesSubmissions(t *testing.T) {
+	r := engine.NewRunner(engine.RunnerConfig{Concurrency: 1})
+	s := New(r, nil)
+	st := submitAndWait(t, s, simcheckBody)
+	if st.State != engine.StateDone {
+		t.Fatalf("job state = %s (%s), want done", st.State, st.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := r.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	rec := do(t, s, "POST", "/jobs", simcheckBody)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown = %d, want 503\n%s", rec.Code, rec.Body)
+	}
+	decodeError(t, rec)
+	if rec := do(t, s, "GET", "/jobs/"+st.ID, ""); rec.Code != http.StatusOK {
+		t.Fatalf("status after shutdown = %d, want 200", rec.Code)
+	}
+}
