@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race chaos tracesmoke batchsmoke crashsmoke servesmoke bench ci
+.PHONY: all build test lint sarif vet fmt race chaos tracesmoke batchsmoke crashsmoke servesmoke bench ci
 
 all: build test lint
 
@@ -15,9 +15,18 @@ test:
 	$(GO) test ./...
 
 # lint is the blocking CI gate: vet, gofmt, then the repo's own
-# spotlightlint analyzers (determinism & hygiene invariants).
+# spotlightlint analyzers (determinism, hygiene & concurrency-lifecycle
+# invariants), package-parallel, followed by the suppression audit that
+# fails on any //lint:allow without a reason.
 lint: vet fmt
-	$(GO) run ./cmd/lint ./...
+	$(GO) run ./cmd/lint -parallel 0 ./...
+	$(GO) run ./cmd/lint -allows ./...
+
+# sarif renders the lint findings as SARIF 2.1.0, the format CI uploads
+# so findings annotate pull requests inline.
+sarif:
+	$(GO) run ./cmd/lint -parallel 0 -format sarif -o spotlightlint.sarif ./... || true
+	@echo wrote spotlightlint.sarif
 
 vet:
 	$(GO) vet ./...

@@ -1,32 +1,53 @@
 // Command lint is the spotlightlint multichecker: it type-checks the
-// requested packages and runs every determinism/hygiene analyzer over
-// them, printing findings as file:line:col: [analyzer] message.
+// requested packages and runs every determinism/hygiene and
+// concurrency-lifecycle analyzer over them, printing findings as
+// file:line:col: [analyzer] message (or as JSON / SARIF 2.1.0 for
+// machine consumers — CI uploads the SARIF so findings annotate pull
+// requests).
 //
 // Usage:
 //
-//	go run ./cmd/lint ./...          # whole module (what CI runs)
+//	go run ./cmd/lint ./...               # whole module (what CI runs)
 //	go run ./cmd/lint ./internal/eval ./internal/core
-//	go run ./cmd/lint -list          # describe the analyzers
+//	go run ./cmd/lint -list               # describe the analyzers
+//	go run ./cmd/lint -format sarif -o lint.sarif ./...
+//	go run ./cmd/lint -allows ./...       # audit every //lint:allow site
+//	go run ./cmd/lint -parallel 0 ./...   # analyze packages in parallel
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load/type errors. The
-// checks and their rationale are documented in
-// internal/analysis/spotlightlint and DESIGN.md §9; individual lines are
-// suppressed with //lint:allow token(reason) annotations.
+// Exit status: 0 clean, 1 findings (or, with -allows, reasonless allow
+// annotations), 2 usage or load/type errors. The checks and their
+// rationale are documented in internal/analysis/spotlightlint and
+// DESIGN.md §9 and §15; individual lines are suppressed with
+// //lint:allow token(reason) annotations — the reason is mandatory,
+// and -allows is the audit trail that keeps it honest.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"spotlight/internal/analysis/lintkit"
 	"spotlight/internal/analysis/spotlightlint"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main minus os.Exit, so the -o file is closed (and its close
+// error reported) on every path before the process exits.
+func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	allows := flag.Bool("allows", false, "report every //lint:allow annotation site instead of findings; exit 1 if any lacks a reason")
+	format := flag.String("format", "text", "findings output format: text, json, or sarif")
+	out := flag.String("o", "", "write findings to this file instead of stdout")
+	parallel := flag.Int("parallel", 1, "packages analyzed concurrently; 0 means GOMAXPROCS")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: lint [-list] [packages]\n\npackages default to ./...; patterns are import paths or ./dir paths, with /... wildcards\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lint [-list] [-allows] [-format text|json|sarif] [-o file] [-parallel n] [packages]\n\npackages default to ./...; patterns are import paths or ./dir paths, with /... wildcards\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,9 +55,13 @@ func main() {
 	analyzers := spotlightlint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "lint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 
 	patterns := flag.Args()
@@ -47,23 +72,89 @@ func main() {
 	loader, err := lintkit.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lint:", err)
-		os.Exit(2)
+		return 2
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lint:", err)
-		os.Exit(2)
+		return 2
 	}
-	findings, err := lintkit.Run(pkgs, analyzers)
+
+	w := io.Writer(os.Stdout)
+	var outFile *os.File
+	if *out != "" {
+		outFile, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			return 2
+		}
+		w = outFile
+	}
+	status := report(w, loader, pkgs, analyzers, *allows, *format, *parallel)
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			return 2
+		}
+	}
+	return status
+}
+
+// report runs either the allow audit or the analyzers and writes the
+// result to w in the requested format, returning the exit status.
+func report(w io.Writer, loader *lintkit.Loader, pkgs []*lintkit.Package, analyzers []*lintkit.Analyzer, allows bool, format string, parallel int) int {
+	if allows {
+		return reportAllows(w, loader.Root, pkgs)
+	}
+	findings, err := lintkit.RunParallel(pkgs, analyzers, parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lint:", err)
-		os.Exit(2)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	switch format {
+	case "json":
+		err = lintkit.WriteJSON(w, loader.Root, findings)
+	case "sarif":
+		err = lintkit.WriteSARIF(w, loader.Root, findings, analyzers)
+	default:
+		for _, f := range findings {
+			if _, err = fmt.Fprintln(w, f); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// reportAllows prints every //lint:allow site as file:line: token(reason)
+// in deterministic order and returns the exit status: suppressions are
+// a budget, and an allow without a reason is a finding in its own
+// right.
+func reportAllows(w io.Writer, root string, pkgs []*lintkit.Package) int {
+	sites := lintkit.Allows(pkgs)
+	empty := 0
+	for _, a := range sites {
+		name := a.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d: %s(%s)\n", name, a.Pos.Line, a.Token, a.Reason)
+		if a.Reason == "" {
+			empty++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lint: %d allow site(s) in %d package(s)\n", len(sites), len(pkgs))
+	if empty > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d allow site(s) without a reason — every suppression must say why\n", empty)
+		return 1
+	}
+	return 0
 }

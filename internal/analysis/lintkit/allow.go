@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -47,6 +48,54 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 		}
 	}
 	return set
+}
+
+// Allow is one //lint:allow annotation site, as the -allows audit mode
+// reports it. Reason is "" for a reasonless annotation — which
+// suppresses nothing and is itself an audit failure.
+type Allow struct {
+	Pos    token.Position
+	Token  string
+	Reason string
+}
+
+// allowSiteRx matches every token(...) group of an allow comment,
+// including empty parentheses, which collectAllows deliberately skips
+// but the audit must surface.
+var allowSiteRx = regexp.MustCompile(`([a-zA-Z][a-zA-Z0-9_-]*)\(([^)]*)\)`)
+
+// Allows lists every //lint:allow annotation in the packages, reasonless
+// ones included, sorted by file, line, then token — the auditable
+// suppression inventory behind `cmd/lint -allows`.
+func Allows(pkgs []*Package) []Allow {
+	var out []Allow
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range allowSiteRx.FindAllStringSubmatch(text, -1) {
+						out = append(out, Allow{Pos: pos, Token: m[1], Reason: strings.TrimSpace(m[2])})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Token < b.Token
+	})
+	return out
 }
 
 // allowed reports whether token is annotated at pos (same line or the

@@ -17,6 +17,39 @@ func f() {
 }
 `
 
+// TestAllows covers the audit inventory: every annotation site is
+// listed — the reasonless one included, with Reason "" — in file, line,
+// token order.
+func TestAllows(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := Allows([]*Package{{Path: "p", Fset: fset, Files: []*ast.File{f}}})
+	want := []Allow{
+		{Token: "wallclock", Reason: "timing is observability only"},
+		{Token: "floateq", Reason: "exact sentinel"},
+		{Token: "maporder", Reason: "order-insensitive sink"},
+		{Token: "nowallclock", Reason: ""},
+	}
+	if len(sites) != len(want) {
+		t.Fatalf("Allows returned %d sites, want %d: %v", len(sites), len(want), sites)
+	}
+	for i, w := range want {
+		if sites[i].Token != w.Token || sites[i].Reason != w.Reason {
+			t.Errorf("site %d = %s(%s), want %s(%s)",
+				i, sites[i].Token, sites[i].Reason, w.Token, w.Reason)
+		}
+	}
+	for i := 1; i < len(sites); i++ {
+		a, b := sites[i-1], sites[i]
+		if a.Pos.Line > b.Pos.Line || (a.Pos.Line == b.Pos.Line && a.Token > b.Token) {
+			t.Errorf("sites out of order: %v before %v", a, b)
+		}
+	}
+}
+
 func TestCollectAllows(t *testing.T) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "p.go", allowSrc, parser.ParseComments)

@@ -1,0 +1,138 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{
+			Analyzer: "goroutinejoin",
+			Pos:      token.Position{Filename: "/repo/internal/serve/server.go", Line: 10, Column: 2},
+			Message:  "goroutine is fire-and-forget",
+		},
+		{
+			Analyzer: "lockbalance",
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 3, Column: 1},
+			Message:  "never released",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/repo", sampleFindings()); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("encoded %d findings, want 2", len(got))
+	}
+	if got[0]["file"] != "internal/serve/server.go" {
+		t.Errorf("in-root path = %q, want root-relative", got[0]["file"])
+	}
+	if got[1]["file"] != "/elsewhere/outside.go" {
+		t.Errorf("out-of-root path = %q, want passed through", got[1]["file"])
+	}
+	if got[0]["analyzer"] != "goroutinejoin" || got[0]["line"] != float64(10) {
+		t.Errorf("first record = %v, want analyzer/line preserved", got[0])
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/repo", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty findings encode as %q, want []", buf.String())
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "goroutinejoin", Doc: "join your goroutines"},
+		{Name: "lockbalance", Doc: "balance your locks"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", sampleFindings(), analyzers); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("schema/version = %q / %q, want SARIF 2.1.0", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "spotlightlint" {
+		t.Errorf("driver = %q, want spotlightlint", run.Tool.Driver.Name)
+	}
+	// Every analyzer is a rule whether or not it fired, so the inventory
+	// is stable across runs.
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("rules = %d, want one per analyzer", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want one per finding", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "goroutinejoin" || r.Level != "error" {
+		t.Errorf("result = %+v, want goroutinejoin at error level", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/serve/server.go" || loc.Region.StartLine != 10 {
+		t.Errorf("location = %+v, want relative URI and line 10", loc)
+	}
+}
+
+func TestRelURI(t *testing.T) {
+	cases := []struct{ root, in, want string }{
+		{"/repo", "/repo/a/b.go", "a/b.go"},
+		{"/repo", "/other/b.go", "/other/b.go"},
+		{"", "/repo/a/b.go", "/repo/a/b.go"},
+	}
+	for _, c := range cases {
+		if got := relURI(c.root, c.in); got != c.want {
+			t.Errorf("relURI(%q, %q) = %q, want %q", c.root, c.in, got, c.want)
+		}
+	}
+}

@@ -21,11 +21,14 @@
 package lintkit
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -58,7 +61,60 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts *factStore
 	diags []Diagnostic
+}
+
+// ExportFact attaches a fact to obj for this analyzer. Facts outlive the
+// pass: the driver analyzes packages in import-dependency order, so a
+// fact exported while analyzing package P is visible to the same
+// analyzer in every package that imports P — and, since the loader
+// shares one *types.Package per path, object identity just works. This
+// is how an analyzer sees across files and packages: export facts about
+// declarations during its sweep of the defining package, import them at
+// use sites anywhere else.
+func (p *Pass) ExportFact(obj types.Object, fact any) {
+	if obj == nil || p.facts == nil {
+		return
+	}
+	p.facts.set(p.Analyzer, obj, fact)
+}
+
+// ImportFact returns the fact this analyzer exported on obj, if any.
+func (p *Pass) ImportFact(obj types.Object) (any, bool) {
+	if obj == nil || p.facts == nil {
+		return nil, false
+	}
+	return p.facts.get(p.Analyzer, obj)
+}
+
+// factStore holds (analyzer, object) → fact across packages. Guarded by
+// a mutex because unrelated packages analyze in parallel; the
+// import-order gating in RunParallel is what makes reads see the writes
+// that matter.
+type factStore struct {
+	mu sync.RWMutex
+	m  map[factKey]any
+}
+
+type factKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+}
+
+func newFactStore() *factStore { return &factStore{m: map[factKey]any{}} }
+
+func (s *factStore) set(a *Analyzer, obj types.Object, fact any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[factKey{a, obj}] = fact
+}
+
+func (s *factStore) get(a *Analyzer, obj types.Object) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.m[factKey{a, obj}]
+	return f, ok
 }
 
 // Diagnostic is one reported finding.
@@ -86,30 +142,68 @@ func (f Finding) String() string {
 
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by file, line, column, then analyzer name — a stable
-// order whatever the package load order was.
+// order whatever the package load order was. It is RunParallel with one
+// worker.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var out []Finding
-	for _, pkg := range pkgs {
-		allows := collectAllows(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range pass.diags {
-				pos := pkg.Fset.Position(d.Pos)
-				if allows.allowed(a.Token(), pos) {
-					continue
+	return RunParallel(pkgs, analyzers, 1)
+}
+
+// RunParallel is Run with package-level parallelism: up to workers
+// packages analyze concurrently (workers <= 0 means GOMAXPROCS). A
+// package is gated on its in-set imports so that facts exported while
+// analyzing a dependency are visible at its use sites — the schedule is
+// a wavefront over the import DAG, which Go guarantees is acyclic. The
+// findings and their order are identical at any worker count: each
+// package's diagnostics are collected independently and the merged
+// result is sorted before returning.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Finding, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	facts := newFactStore()
+	inSet := make(map[string]int, len(pkgs))
+	ready := make(map[string]chan struct{}, len(pkgs))
+	for i, p := range pkgs {
+		inSet[p.Path] = i
+		ready[p.Path] = make(chan struct{})
+	}
+	type pkgResult struct {
+		findings []Finding
+		err      error
+	}
+	results := make([]pkgResult, len(pkgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(ready[pkg.Path])
+			// Wait for in-set dependencies before taking a worker slot, so
+			// a blocked package never starves the package it is blocked on.
+			for _, imp := range pkg.Types.Imports() {
+				if _, ok := inSet[imp.Path()]; ok {
+					<-ready[imp.Path()]
 				}
-				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			findings, err := analyzePackage(pkg, analyzers, facts)
+			results[i] = pkgResult{findings, err}
+		}()
+	}
+	wg.Wait()
+	var out []Finding
+	var errs []error
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
 		}
+		out = append(out, r.findings...)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -124,6 +218,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+	return out, nil
+}
+
+// analyzePackage runs every analyzer over one package, applying the
+// package's //lint:allow annotations to the diagnostics.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, facts *factStore) ([]Finding, error) {
+	var out []Finding
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			facts:     facts,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if allows.allowed(a.Token(), pos) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
 	return out, nil
 }
 

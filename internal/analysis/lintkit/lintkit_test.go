@@ -1,0 +1,100 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// factAnalyzer exports a fact on every function named "Marked" and
+// reports every call whose callee carries the fact — the minimal
+// cross-package fact round trip.
+var factAnalyzer = &Analyzer{
+	Name: "factcheck",
+	Doc:  "test analyzer: reports calls to fact-marked functions",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "Marked" {
+					pass.ExportFact(pass.TypesInfo.Defs[fd.Name], "marked")
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var obj types.Object
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					obj = pass.TypesInfo.Uses[fun]
+				case *ast.SelectorExpr:
+					obj = pass.TypesInfo.Uses[fun.Sel]
+				}
+				if obj == nil {
+					return true
+				}
+				if fact, ok := pass.ImportFact(obj); ok {
+					pass.Reportf(call.Pos(), "call to %s function %s", fact, obj.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// loadFactFixture loads the two-package fact fixture with factb (the
+// importer) deliberately listed first, so only the dependency gating —
+// not the input order — can put facta's facts in place before factb
+// analyzes.
+func loadFactFixture(t *testing.T) []*Package {
+	t.Helper()
+	l := NewFixtureLoader("", "testdata/src")
+	pkgs, err := l.Load("factb", "facta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	return pkgs
+}
+
+func TestFactsCrossPackage(t *testing.T) {
+	findings, err := Run(loadFactFixture(t), []*Analyzer{factAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the facta.Marked call site", findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "factcheck" || f.Message != "call to marked function Marked" {
+		t.Fatalf("finding = %+v, want the marked-call report", f)
+	}
+}
+
+// TestRunParallelDeterministic proves the findings and their order are
+// identical at any worker count — the analysis analogue of the repo's
+// any-worker-count reproducibility invariant.
+func TestRunParallelDeterministic(t *testing.T) {
+	pkgs := loadFactFixture(t)
+	base, err := Run(pkgs, []*Analyzer{factAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		for round := 0; round < 5; round++ {
+			got, err := RunParallel(pkgs, []*Analyzer{factAnalyzer}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("workers=%d round=%d: findings diverge:\ngot  %v\nwant %v",
+					workers, round, got, base)
+			}
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package facta is the defining side of the fact-propagation fixture:
+// the test analyzer exports a fact on Marked while analyzing this
+// package and imports it at the call site in factb.
+package facta
+
+// Marked carries the fact.
+func Marked() {}
+
+// Plain does not.
+func Plain() int { return 1 }

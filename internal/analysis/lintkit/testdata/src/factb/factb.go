@@ -1,0 +1,12 @@
+// Package factb is the consuming side of the fact-propagation fixture:
+// it calls into facta, and the test analyzer reports each call whose
+// callee carries a fact exported while facta was analyzed.
+package factb
+
+import "facta"
+
+// Use calls one marked and one unmarked function.
+func Use() int {
+	facta.Marked()
+	return facta.Plain()
+}

@@ -1,0 +1,159 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// CtxCancel enforces cancel-func hygiene on context derivation,
+// repo-wide: the CancelFunc returned by context.WithCancel, WithTimeout,
+// or WithDeadline (and the stop func from signal.NotifyContext) must not
+// be lost. An uncalled cancel leaks the derived context's timer and
+// goroutine until the parent dies — in a CLI that is the whole process
+// lifetime, and in spotlightd it is a per-job leak that compounds under
+// the exact sustained load the server exists to take.
+//
+// Two forms are flagged:
+//
+//   - the cancel assigned to the blank identifier (`ctx, _ :=
+//     context.WithCancel(...)`) — there is never a reason; use
+//     context.Background or keep the func;
+//   - a cancel variable that is never referenced again in the function —
+//     not called, not deferred, not stored, not passed, not returned.
+//
+// Any genuine reference counts as handled: a cancel that escapes
+// (stored in a struct, returned to the caller, passed onward) is some
+// other code's responsibility, and engine.Job.cancel shows why that
+// must stay legal. `_ = cancel` does NOT count — it is the
+// compiler-silencer spelling of the same leak, since Go would otherwise
+// reject the unused variable. Full all-paths coverage needs a
+// control-flow graph; the straight-line leak — deriving and forgetting
+// — is the form that actually appears in review, and `defer cancel()`
+// on the next line is always the fix.
+var CtxCancel = &lintkit.Analyzer{
+	Name: "ctxcancel",
+	Doc:  "cancel funcs from context.WithCancel/WithTimeout/WithDeadline must be called (or escape): a lost cancel leaks the context's timer and goroutine",
+	Run:  runCtxCancel,
+}
+
+// cancelSource reports whether call derives a context and returns a
+// cancel/stop func as its second result.
+func cancelSource(pass *lintkit.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "context":
+		switch fn.Name() {
+		case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause":
+			return "context." + fn.Name(), true
+		}
+	case "os/signal":
+		if fn.Name() == "NotifyContext" {
+			return "signal.NotifyContext", true
+		}
+	}
+	return "", false
+}
+
+func runCtxCancel(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		lintkit.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+				return true
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			src, ok := cancelSource(pass, call)
+			if !ok {
+				return true
+			}
+			cancelIdent, ok := assign.Lhs[1].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if cancelIdent.Name == "_" {
+				pass.Reportf(cancelIdent.Pos(),
+					"the cancel func from %s is discarded: the derived context can never be released — call it (defer cancel()), or annotate //lint:allow ctxcancel(reason)", src)
+				return true
+			}
+			obj := pass.TypesInfo.Defs[cancelIdent]
+			if obj == nil {
+				// `ctx, cancel = ...` reassignment into an existing variable:
+				// the variable's other references keep it alive; treat the
+				// reassignment itself as a use of that variable.
+				return true
+			}
+			enclosing := lintkit.EnclosingFunc(stack)
+			if enclosing == nil {
+				return true
+			}
+			if !referencedAgain(pass, enclosing, cancelIdent, obj) {
+				pass.Reportf(cancelIdent.Pos(),
+					"%s is never called: the context from %s leaks its timer and goroutine — defer %s(), or annotate //lint:allow ctxcancel(reason)",
+					cancelIdent.Name, src, cancelIdent.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// referencedAgain reports whether obj is genuinely used anywhere in fn
+// other than its defining identifier. Nested literals count: a cancel
+// captured by a closure is referenced. A use as the right-hand side of
+// an all-blank assignment (`_ = cancel`) does not count — that is how a
+// leak silences the unused-variable error, not how it gets handled.
+func referencedAgain(pass *lintkit.Pass, fn ast.Node, def *ast.Ident, obj types.Object) bool {
+	discarded := map[*ast.Ident]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+				return true
+			}
+		}
+		for _, rhs := range assign.Rhs {
+			if id, ok := rhs.(*ast.Ident); ok {
+				discarded[id] = true
+			}
+		}
+		return true
+	})
+	used := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || discarded[id] {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,17 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestCtxCancel proves discarded cancels (context.WithCancel/
+// WithTimeout/WithDeadline and signal.NotifyContext) and never-called
+// cancels (including the `_ = cancel` compiler-silencer) are flagged,
+// that deferred, stored, returned, closure-captured, and passed-on
+// cancels stay silent, and that //lint:allow suppresses.
+func TestCtxCancel(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.CtxCancel, "ctxpkg")
+}

@@ -1,0 +1,255 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// GoroutineJoin enforces the lifecycle invariant the engine/serve layer
+// depends on: every `go` statement in the long-running packages must be
+// provably joined — its termination observed by someone — through one of
+// the repo's three sanctioned idioms:
+//
+//   - a sync.WaitGroup Add/Done pair (Add in the spawning function, or
+//     Done in the goroutine body, including bodies of named functions
+//     declared in other files or packages, via analyzer facts);
+//   - a done-channel: the goroutine receives from a channel (so closing
+//     it releases the goroutine), or it sends on / closes a channel the
+//     spawning function receives from (so the spawner blocks on
+//     completion) — <-ctx.Done() is the context form of the same idiom;
+//   - a range over a channel, which ends when the channel closes.
+//
+// A goroutine with none of these is fire-and-forget: under spotlightd it
+// outlives its job, leaks per request, and can touch shared state after
+// shutdown has supposedly drained — exactly the class of bug the race
+// job cannot catch unless the schedule cooperates. Intentional
+// fire-and-forget (there is almost none) carries
+// //lint:allow goroutinejoin(reason).
+var GoroutineJoin = &lintkit.Analyzer{
+	Name: "goroutinejoin",
+	Doc:  "every go statement in the long-running packages must be joined via WaitGroup, done-channel, or context (fire-and-forget goroutines leak)",
+	Run:  runGoroutineJoin,
+}
+
+// joinEvidence is the fact goroutinejoin exports for every function
+// declaration it sees: whether the body contains the callee-side half of
+// a join (a WaitGroup Done, a channel receive). Facts are exported for
+// every analyzed package — scoped or not — so `go pkg.Worker()` in a
+// scoped package can consult evidence about a helper declared anywhere
+// in the module.
+type joinEvidence struct {
+	WGDone   bool
+	ChanRecv bool
+}
+
+// bodyEvidence inspects one function body (not descending into nested
+// literals) for callee-side join evidence and the set of channel objects
+// the body sends on or closes.
+func bodyEvidence(pass *lintkit.Pass, body ast.Node) (ev joinEvidence, sentOrClosed map[types.Object]bool) {
+	sentOrClosed = map[types.Object]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && syncMethodOn(pass, sel, "WaitGroup", "Done") {
+				ev.WGDone = true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if obj := chanObject(pass, n.Args[0]); obj != nil {
+						sentOrClosed[obj] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ev.ChanRecv = true
+			}
+		case *ast.SendStmt:
+			if obj := chanObject(pass, n.Chan); obj != nil {
+				sentOrClosed[obj] = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ev.ChanRecv = true
+				}
+			}
+		}
+		return true
+	})
+	return ev, sentOrClosed
+}
+
+// receivedChannels collects the channel objects a function receives from
+// (unary receive or range), excluding receives inside nested literals —
+// those belong to other goroutines' schedules. allReceivedChannels is
+// the same collection without the literal exclusion, for the
+// package-wide receive set (there, which goroutine does the receiving
+// is irrelevant — someone observes the channel).
+func receivedChannels(pass *lintkit.Pass, body ast.Node) map[types.Object]bool {
+	recv := map[types.Object]bool{}
+	collectReceives(pass, body, recv, inspectShallow)
+	return recv
+}
+
+func allReceivedChannels(pass *lintkit.Pass, root ast.Node) map[types.Object]bool {
+	recv := map[types.Object]bool{}
+	collectReceives(pass, root, recv, func(n ast.Node, fn func(ast.Node) bool) {
+		ast.Inspect(n, fn)
+	})
+	return recv
+}
+
+func collectReceives(pass *lintkit.Pass, root ast.Node, recv map[types.Object]bool, walk func(ast.Node, func(ast.Node) bool)) {
+	walk(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := chanObject(pass, n.X); obj != nil {
+					recv[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := chanObject(pass, n.X); obj != nil {
+				recv[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func runGoroutineJoin(pass *lintkit.Pass) error {
+	// Fact sweep, every package: record each declared function's
+	// callee-side evidence so spawn sites elsewhere (other files, other
+	// packages) can import it.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			ev, _ := bodyEvidence(pass, fd.Body)
+			if ev.WGDone || ev.ChanRecv {
+				pass.ExportFact(obj, ev)
+			}
+		}
+	}
+
+	if !inList(pass.Pkg.Path(), goroutinePackages) {
+		return nil
+	}
+
+	// Package-wide receive set: channel objects received anywhere in the
+	// package, across files. A goroutine that closes a struct-field
+	// channel is joined when any method receives from that field —
+	// obs.Server's serve goroutine closes s.done and Close blocks on it,
+	// two functions apart. Local channels keep function-level precision
+	// for free, because their objects are unique to their function.
+	pkgRecv := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for obj := range allReceivedChannels(pass, f) {
+			pkgRecv[obj] = true
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		lintkit.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			enclosing := lintkit.EnclosingFunc(stack)
+			if enclosing == nil {
+				return true
+			}
+			if joined(pass, gs, enclosing, pkgRecv) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine is fire-and-forget: join it via a sync.WaitGroup Add/Done pair, a done-channel, or a context, or annotate //lint:allow goroutinejoin(reason)")
+			return true
+		})
+	}
+	return nil
+}
+
+// joined reports whether the go statement's goroutine is provably joined
+// to its spawning function's lifecycle (or, for completion channels, to
+// some function of the package that observes the channel).
+func joined(pass *lintkit.Pass, gs *ast.GoStmt, enclosing ast.Node, pkgRecv map[types.Object]bool) bool {
+	// Spawner-side WaitGroup: an Add anywhere in the spawning function
+	// marks it join-conscious for the goroutines it launches.
+	wgAdd := false
+	inspectShallow(unitBodyOrSelf(enclosing), func(n ast.Node) bool {
+		if call, sel := methodCall(n); call != nil && syncMethodOn(pass, sel, "WaitGroup", "Add") {
+			wgAdd = true
+		}
+		return true
+	})
+	if wgAdd {
+		return true
+	}
+
+	// Callee-side evidence: from the literal body directly, or from the
+	// exported fact when the target is a named function or method.
+	var ev joinEvidence
+	var sentOrClosed map[types.Object]bool
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		ev, sentOrClosed = bodyEvidence(pass, fun.Body)
+	default:
+		if obj := calleeObject(pass, gs.Call); obj != nil {
+			if fact, ok := pass.ImportFact(obj); ok {
+				ev = fact.(joinEvidence)
+			}
+		}
+	}
+	if ev.WGDone || ev.ChanRecv {
+		return true
+	}
+
+	// Completion-channel: the goroutine signals a channel the spawning
+	// function — or, for field/global channels, any function in the
+	// package — receives from.
+	if len(sentOrClosed) > 0 {
+		recv := receivedChannels(pass, unitBodyOrSelf(enclosing))
+		for obj := range sentOrClosed {
+			if recv[obj] || pkgRecv[obj] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unitBodyOrSelf returns the function node's body, or the node itself
+// when it has none to offer (inspection then just sees nothing).
+func unitBodyOrSelf(unit ast.Node) ast.Node {
+	if b := unitBody(unit); b != nil {
+		return b
+	}
+	return unit
+}
+
+// calleeObject resolves the function object a go statement invokes, for
+// fact lookup: `go r.worker()` → method worker, `go flush()` → func
+// flush.
+func calleeObject(pass *lintkit.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

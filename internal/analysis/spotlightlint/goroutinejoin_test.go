@@ -1,0 +1,20 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestGoroutineJoin proves fire-and-forget goroutines (literal and
+// named) are flagged in a scoped package, that all three join idioms
+// pass — spawner-side WaitGroup.Add, callee-side Done or channel
+// receive (including via facts for callees in other files and other
+// packages), and completion channels (including struct-field channels
+// received by a different function) — that //lint:allow suppresses,
+// and that out-of-scope packages are silent entirely.
+func TestGoroutineJoin(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.GoroutineJoin,
+		"joinhelper", "spotlight/internal/serve")
+}

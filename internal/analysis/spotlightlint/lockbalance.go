@@ -1,0 +1,294 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// LockBalance enforces lock hygiene on sync.Mutex/sync.RWMutex use,
+// repo-wide: a Lock or RLock taken in a function must be released in
+// that same function — by `defer Unlock`/`defer RUnlock` on the same
+// receiver or by an explicit unlock — with the matching flavor. It
+// flags, in rising order of subtlety:
+//
+//   - a Lock/RLock with no unlock of any kind in the function (the
+//     classic forgotten release, which deadlocks the next caller);
+//   - read/write mismatches — Lock released by RUnlock or vice versa —
+//     which panic at runtime ("sync: RUnlock of unlocked RWMutex") or
+//     silently downgrade exclusion;
+//   - double-lock: the same receiver locked twice on a straight-line
+//     path with no intervening unlock (sync.Mutex is not reentrant;
+//     this deadlocks immediately);
+//   - returning on a straight-line path while the lock is still held
+//     (a branchy early return the deferred unlock never covered).
+//
+// The path analysis is deliberately conservative: inside branches the
+// tracker resets, so manual multi-path unlock idioms (engine.Runner's
+// Cancel, worker) pass without annotation, while the straight-line bugs
+// every reviewer has waved through at least once are caught. Lock
+// handoffs between functions are the one legitimate pattern it cannot
+// see; they carry //lint:allow lockbalance(reason).
+var LockBalance = &lintkit.Analyzer{
+	Name: "lockbalance",
+	Doc:  "Lock/RLock must be released in the same function with matching flavor; double-locks and returns while holding are flagged",
+	Run:  runLockBalance,
+}
+
+// lockFlavor distinguishes write locks from read locks.
+type lockFlavor int
+
+const (
+	writeLock lockFlavor = iota
+	readLock
+)
+
+func (f lockFlavor) lockName() string {
+	if f == readLock {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (f lockFlavor) unlockName() string {
+	if f == readLock {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// lockOp is one Lock/RLock/Unlock/RUnlock call resolved to its receiver
+// expression.
+type lockOp struct {
+	recv    string // types.ExprString of the receiver ("j.mu", "r.mu")
+	flavor  lockFlavor
+	acquire bool
+	pos     ast.Node
+}
+
+// lockCall resolves n as a mutex method call, or ok=false.
+func lockCall(pass *lintkit.Pass, n ast.Node) (lockOp, bool) {
+	call, sel := methodCall(n)
+	if call == nil {
+		return lockOp{}, false
+	}
+	var op lockOp
+	switch {
+	case syncMethodOn(pass, sel, "Mutex", "Lock") || syncMethodOn(pass, sel, "RWMutex", "Lock"):
+		op = lockOp{flavor: writeLock, acquire: true}
+	case syncMethodOn(pass, sel, "Mutex", "Unlock") || syncMethodOn(pass, sel, "RWMutex", "Unlock"):
+		op = lockOp{flavor: writeLock, acquire: false}
+	case syncMethodOn(pass, sel, "RWMutex", "RLock"):
+		op = lockOp{flavor: readLock, acquire: true}
+	case syncMethodOn(pass, sel, "RWMutex", "RUnlock"):
+		op = lockOp{flavor: readLock, acquire: false}
+	default:
+		return lockOp{}, false
+	}
+	op.recv = types.ExprString(sel.X)
+	op.pos = call
+	return op, true
+}
+
+func runLockBalance(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		for _, unit := range funcUnits(f) {
+			body := unitBody(unit)
+			if body == nil {
+				continue
+			}
+			checkUnitBalance(pass, body)
+			scanList(pass, body.List, map[string]lockFlavor{})
+		}
+	}
+	return nil
+}
+
+// checkUnitBalance is the function-level pairing check: every acquire
+// flavor present must have a matching release flavor somewhere in the
+// unit (deferred releases — including inside `defer func() {...}()`
+// literals — count; nested literals otherwise analyze separately).
+func checkUnitBalance(pass *lintkit.Pass, body *ast.BlockStmt) {
+	type pair struct {
+		recv   string
+		flavor lockFlavor
+	}
+	acquires := map[pair]ast.Node{} // first acquire site
+	releases := map[pair]bool{}
+	record := func(n ast.Node) {
+		if op, ok := lockCall(pass, n); ok {
+			key := pair{op.recv, op.flavor}
+			if op.acquire {
+				if _, seen := acquires[key]; !seen {
+					acquires[key] = op.pos
+				}
+			} else {
+				releases[key] = true
+			}
+		}
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		record(n)
+		// A deferred literal runs on this function's exit: its releases
+		// balance this function's acquires.
+		if def, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := def.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if op, ok := lockCall(pass, m); ok && !op.acquire {
+						releases[pair{op.recv, op.flavor}] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	for key, site := range acquires {
+		if releases[key] {
+			continue
+		}
+		other := pair{key.recv, writeLock}
+		if key.flavor == writeLock {
+			other.flavor = readLock
+		}
+		if releases[other] {
+			pass.Reportf(site.Pos(),
+				"%s.%s is released with %s: read/write mismatch panics or downgrades exclusion — match the flavors, or annotate //lint:allow lockbalance(reason)",
+				key.recv, key.flavor.lockName(), other.flavor.unlockName())
+			continue
+		}
+		pass.Reportf(site.Pos(),
+			"%s.%s has no matching %s in this function: the lock is never released — add defer %s.%s(), or annotate //lint:allow lockbalance(reason)",
+			key.recv, key.flavor.lockName(), key.flavor.unlockName(), key.recv, key.flavor.unlockName())
+	}
+}
+
+// scanList walks one statement list tracking which receivers are held on
+// the straight-line path. Branching constructs are scanned recursively
+// with a fresh tracker and clear the state afterwards — the conservative
+// choice that keeps multi-path manual unlock idioms quiet — so every
+// report here is a genuine straight-line fact.
+func scanList(pass *lintkit.Pass, stmts []ast.Stmt, held map[string]lockFlavor) {
+	reset := func() {
+		for k := range held {
+			delete(held, k)
+		}
+	}
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if op, ok := lockCall(pass, s.X); ok {
+				if op.acquire {
+					if _, isHeld := held[op.recv]; isHeld {
+						pass.Reportf(op.pos.Pos(),
+							"%s.%s while %s is already held on this path: sync locks are not reentrant — this deadlocks (//lint:allow lockbalance(reason) if a different lock is intended)",
+							op.recv, op.flavor.lockName(), op.recv)
+					}
+					held[op.recv] = op.flavor
+				} else {
+					if f, isHeld := held[op.recv]; isHeld && f != op.flavor {
+						pass.Reportf(op.pos.Pos(),
+							"%s.%s releases a %s: read/write mismatch — match the flavors, or annotate //lint:allow lockbalance(reason)",
+							op.recv, op.flavor.unlockName(), f.lockName())
+					}
+					delete(held, op.recv)
+				}
+			}
+		case *ast.DeferStmt:
+			if op, ok := lockCall(pass, s.Call); ok && !op.acquire {
+				if f, isHeld := held[op.recv]; isHeld && f != op.flavor {
+					pass.Reportf(op.pos.Pos(),
+						"defer %s.%s releases a %s: read/write mismatch — match the flavors, or annotate //lint:allow lockbalance(reason)",
+						op.recv, op.flavor.unlockName(), f.lockName())
+				}
+				delete(held, op.recv)
+			}
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if op, ok := lockCall(pass, m); ok && !op.acquire {
+						delete(held, op.recv)
+					}
+					return true
+				})
+			}
+		case *ast.ReturnStmt:
+			for _, h := range sortedHeld(held) {
+				pass.Reportf(s.Pos(),
+					"return with %s still %sed on this straight-line path: release it first, defer the unlock, or annotate //lint:allow lockbalance(reason)",
+					h.recv, h.flavor.lockName())
+			}
+		case *ast.IfStmt:
+			scanList(pass, s.Body.List, map[string]lockFlavor{})
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					scanList(pass, e.List, map[string]lockFlavor{})
+				case *ast.IfStmt:
+					scanList(pass, []ast.Stmt{e}, map[string]lockFlavor{})
+				}
+			}
+			reset()
+		case *ast.ForStmt:
+			scanList(pass, s.Body.List, map[string]lockFlavor{})
+			reset()
+		case *ast.RangeStmt:
+			scanList(pass, s.Body.List, map[string]lockFlavor{})
+			reset()
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanList(pass, cc.Body, map[string]lockFlavor{})
+				}
+			}
+			reset()
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanList(pass, cc.Body, map[string]lockFlavor{})
+				}
+			}
+			reset()
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanList(pass, cc.Body, map[string]lockFlavor{})
+				}
+			}
+			reset()
+		case *ast.BlockStmt:
+			scanList(pass, s.List, held)
+		case *ast.LabeledStmt:
+			scanList(pass, []ast.Stmt{s.Stmt}, held)
+		case *ast.BranchStmt, *ast.GoStmt:
+			// goto/break/continue leave the straight line; a go statement
+			// runs elsewhere. Either way the tracker can't follow.
+			reset()
+		}
+	}
+}
+
+// heldLock is one held receiver for deterministic reporting order.
+type heldLock struct {
+	recv   string
+	flavor lockFlavor
+}
+
+// sortedHeld renders the held map in sorted receiver order so reports
+// are stable (the maporder rule, applied to ourselves).
+func sortedHeld(held map[string]lockFlavor) []heldLock {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]heldLock, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, heldLock{k, held[k]})
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestLockBalance proves the forgotten-unlock, read/write-mismatch,
+// straight-line double-lock, and return-while-held forms are flagged,
+// that defer-based, manual, deferred-literal, and branchy multi-path
+// releases pass, that independent receivers are tracked separately,
+// and that the lock-handoff pattern survives under //lint:allow.
+func TestLockBalance(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.LockBalance, "lockpkg")
+}

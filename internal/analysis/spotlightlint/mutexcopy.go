@@ -1,0 +1,184 @@
+package spotlightlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spotlight/internal/analysis/lintkit"
+)
+
+// MutexCopy flags by-value copies of types that own synchronization
+// state, repo-wide: sync.Mutex, RWMutex, WaitGroup, Once, Cond, Map,
+// Pool, and the sync/atomic value types — directly, or buried anywhere
+// in a struct or array. A copied mutex is two mutexes guarding one
+// invariant: the copy starts unlocked (or worse, locked forever if
+// copied while held), waiters on the original never see unlocks of the
+// copy, and the race detector stays silent because each goroutine
+// locks *something*. The flagged forms are the ones that smuggle the
+// copy past review:
+//
+//   - function parameters and results of a lock-bearing type (pass a
+//     pointer instead);
+//   - assignments whose right-hand side copies an existing lock-bearing
+//     value (`s := *srv`, `a = b`) — composite literals and calls are
+//     exempt, because constructing a fresh value is not copying a live
+//     one, and a call's copy is flagged at the callee's signature;
+//   - `range` over a slice/array/map of lock-bearing values, where the
+//     iteration variable is a fresh copy each turn.
+var MutexCopy = &lintkit.Analyzer{
+	Name: "mutexcopy",
+	Doc:  "no by-value copies of types containing sync.Mutex/WaitGroup/atomic state (a copied lock is two locks guarding one invariant)",
+	Run:  runMutexCopy,
+}
+
+// syncStateTypes are the types whose by-value copy is always a bug.
+var syncStateTypes = map[string]map[string]bool{
+	"sync":        {"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true, "Map": true, "Pool": true},
+	"sync/atomic": {"Bool": true, "Int32": true, "Int64": true, "Uint32": true, "Uint64": true, "Uintptr": true, "Pointer": true, "Value": true},
+}
+
+// lockPath returns a human-readable path to the first lock-bearing
+// component of t ("sync.Mutex", "engine.Job (contains sync.Mutex)"),
+// or "" when t is copy-safe. Pointers, slices, maps, channels, and
+// interfaces are copy-safe: copying them shares the underlying state
+// rather than forking it.
+func lockPath(t types.Type) string {
+	return lockPathSeen(t, map[types.Type]bool{})
+}
+
+func lockPathSeen(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := syncStateTypes[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+		if inner := lockPathSeen(named.Underlying(), seen); inner != "" {
+			return obj.Name() + " (contains " + inner + ")"
+		}
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if inner := lockPathSeen(u.Field(i).Type(), seen); inner != "" {
+				return inner
+			}
+		}
+	case *types.Array:
+		return lockPathSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+func runMutexCopy(pass *lintkit.Pass) error {
+	report := func(pos ast.Node, what, path string) {
+		pass.Reportf(pos.Pos(),
+			"%s copies %s by value: a copied lock is two locks guarding one invariant — use a pointer", what, path)
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, field := range n.Recv.List {
+						if tv, ok := pass.TypesInfo.Types[field.Type]; ok && tv.Type != nil {
+							if path := lockPath(tv.Type); path != "" {
+								report(field, "receiver", path)
+							}
+						}
+					}
+				}
+				checkSignature(pass, n.Type, report)
+			case *ast.FuncLit:
+				checkSignature(pass, n.Type, report)
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true // multi-value call; flagged at the callee's results
+				}
+				for i, rhs := range n.Rhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // a blank discard evaluates but lands nowhere
+					}
+					if copiesLiveValue(rhs) {
+						if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.Type != nil {
+							if path := lockPath(tv.Type); path != "" {
+								report(rhs, "assignment", path)
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				// In the `:=` form the value is a defined ident, recorded in
+				// Defs rather than Types; in the `=` form it is an ordinary
+				// expression.
+				var t types.Type
+				if tv, ok := pass.TypesInfo.Types[n.Value]; ok && tv.Type != nil {
+					t = tv.Type
+				} else if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						t = obj.Type()
+					}
+				}
+				if t != nil {
+					if path := lockPath(t); path != "" {
+						report(n.Value, "range value", path)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature flags lock-bearing by-value parameters and results.
+func checkSignature(pass *lintkit.Pass, ft *ast.FuncType, report func(ast.Node, string, string)) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if path := lockPath(tv.Type); path != "" {
+				report(field, what, path)
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// copiesLiveValue reports whether evaluating rhs copies an existing
+// value (as opposed to constructing a fresh one or receiving one from a
+// call, whose copy is attributed to the callee's signature).
+func copiesLiveValue(rhs ast.Expr) bool {
+	switch rhs := rhs.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return false
+	case *ast.UnaryExpr:
+		// &T{...} takes an address, fine; <-ch receives a fresh value.
+		return false
+	case *ast.ParenExpr:
+		return copiesLiveValue(rhs.X)
+	case *ast.StarExpr:
+		return true // dereference copies the pointee
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}

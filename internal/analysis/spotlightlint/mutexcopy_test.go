@@ -1,0 +1,17 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestMutexCopy proves by-value signatures, copying assignments, and
+// range values are flagged for types carrying sync or sync/atomic
+// state (directly or nested), that pointers, slice headers, composite
+// literals, and plain types stay silent, and that //lint:allow
+// suppresses.
+func TestMutexCopy(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.MutexCopy, "copypkg")
+}

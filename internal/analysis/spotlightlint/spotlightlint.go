@@ -22,6 +22,16 @@
 //     write durable state (journal, checkpoints, result artifacts).
 //   - exitcheck: no os.Exit or log.Fatal* outside cmd/ and examples/
 //     packages — a service must never be killed by library code.
+//   - goroutinejoin: every go statement in the long-running packages is
+//     joined via WaitGroup, done-channel, or context — no
+//     fire-and-forget goroutines in the engine/serve layer.
+//   - lockbalance: Lock/RLock released in the same function with
+//     matching flavor; straight-line double-locks and
+//     returns-while-holding are flagged.
+//   - mutexcopy: no by-value copies of types carrying sync.Mutex,
+//     WaitGroup, or sync/atomic state.
+//   - ctxcancel: cancel funcs from context.WithCancel/WithTimeout are
+//     called or escape — a lost cancel is a leak per call site.
 //
 // Any finding can be suppressed with an inline or preceding-line
 // annotation naming its reason: //lint:allow wallclock(latency counter).
@@ -112,5 +122,9 @@ func Analyzers() []*lintkit.Analyzer {
 		NonFinite,
 		CloseCheck,
 		ExitCheck,
+		GoroutineJoin,
+		LockBalance,
+		MutexCopy,
+		CtxCancel,
 	}
 }

@@ -1,0 +1,74 @@
+// Fixture for mutexcopy: by-value copies of lock-bearing types through
+// signatures, assignments, and range, with the copy-safe forms
+// (pointers, composite literals, plain types) staying silent.
+package copypkg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type stats struct {
+	hits atomic.Int64
+}
+
+type wrapper struct {
+	c counter
+}
+
+type plain struct{ n int }
+
+func byValueParam(c counter) {} // want "parameter copies counter"
+
+func nestedParam(w wrapper) {} // want "parameter copies wrapper"
+
+func byValueResult() counter { // want "result copies counter"
+	return counter{}
+}
+
+func pointerParam(c *counter) {} // silent: sharing, not forking
+
+func sliceParam(cs []*counter) {} // silent: the slice header is copy-safe
+
+func assignDeref(p *counter) {
+	c := *p // want "assignment copies counter"
+	_ = c
+}
+
+func assignVar() {
+	var a stats
+	b := a // want "assignment copies stats"
+	_ = b
+}
+
+func assignFresh() {
+	c := counter{} // silent: constructing, not copying
+	_ = c
+	p := &counter{} // silent: address of a fresh value
+	_ = p
+}
+
+func rangeCopy(cs []counter, ps []*counter) {
+	for _, c := range cs { // want "range value copies counter"
+		_ = c
+	}
+	for i := range cs { // silent: index only
+		_ = i
+	}
+	for _, p := range ps { // silent: pointer elements
+		_ = p
+	}
+}
+
+func plainOK(p plain) plain {
+	q := p
+	return q
+}
+
+//lint:allow mutexcopy(fixture: snapshot of settled state)
+func allowedCopy(c counter) {}

@@ -1,0 +1,90 @@
+// Fixture for ctxcancel: discarded and never-called cancel funcs are
+// flagged; deferred, escaping, returned, and closure-captured cancels
+// stay silent, as does the //lint:allow escape hatch.
+package ctxpkg
+
+import (
+	"context"
+	"os/signal"
+	"time"
+)
+
+func good(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	_ = ctx
+}
+
+func goodTimeout(parent context.Context) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	_ = ctx
+}
+
+func discard(parent context.Context) {
+	ctx, _ := context.WithCancel(parent) // want "is discarded"
+	_ = ctx
+}
+
+func discardDeadline(parent context.Context) {
+	ctx, _ := context.WithDeadline(parent, time.Time{}) // want "is discarded"
+	_ = ctx
+}
+
+func discardSignal() {
+	ctx, _ := signal.NotifyContext(context.Background()) // want "is discarded"
+	_ = ctx
+}
+
+// neverCalled silences the compiler with `_ = cancel`, which is the
+// same leak wearing a disguise.
+func neverCalled(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent) // want "cancel is never called"
+	_ = ctx
+	_ = cancel
+}
+
+func neverCalledTimeout(parent context.Context) context.Context {
+	ctx, stop := context.WithTimeout(parent, time.Second) // want "stop is never called"
+	_ = stop
+	return ctx
+}
+
+type job struct {
+	cancel context.CancelFunc
+}
+
+// stored escapes into a struct: some other code's responsibility.
+func stored(parent context.Context, j *job) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	j.cancel = cancel
+	return ctx
+}
+
+// returned hands the cancel to the caller.
+func returned(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	return ctx, cancel
+}
+
+// captured is referenced by a closure, which keeps it live.
+func captured(parent context.Context) func() {
+	_, cancel := context.WithCancel(parent)
+	return func() { cancel() }
+}
+
+// passed forwards the cancel to another function.
+func passed(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	keep(cancel)
+	return ctx
+}
+
+func keep(context.CancelFunc) {}
+
+// allowed documents an intentional process-lifetime context.
+func allowed(parent context.Context) context.Context {
+	//lint:allow ctxcancel(fixture: context lives for process lifetime)
+	ctx, _ := context.WithCancel(parent)
+	return ctx
+}

@@ -1,0 +1,20 @@
+// Package joinhelper is a fixture dependency for goroutinejoin. Drain
+// carries callee-side join evidence (a channel receive) that the scoped
+// serve fixture consumes across the package boundary via analyzer
+// facts. The package itself is outside goroutinePackages, so its own
+// fire-and-forget goroutine must stay silent — proving the scoping.
+package joinhelper
+
+// Drain receives until the channel closes: a goroutine running it is
+// released by closing c, which is join evidence.
+func Drain(c chan int) {
+	for range c {
+	}
+}
+
+// Leak has no join evidence, but this package is out of scope: silent.
+func Leak() {
+	go func() {
+		_ = 1 + 1
+	}()
+}

@@ -1,0 +1,108 @@
+// Fixture for lockbalance: acquire/release pairing, flavor matching,
+// straight-line double-lock and return-while-held, and the branchy
+// manual-unlock idiom that must stay quiet.
+package lockpkg
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// good is the canonical shape.
+func (g *guarded) good() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// goodManual releases explicitly on the only path.
+func (g *guarded) goodManual() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// goodRead pairs RLock with RUnlock.
+func (g *guarded) goodRead() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+// deferLit releases inside a deferred literal, which runs on this
+// function's exit and therefore balances this function's acquire.
+func (g *guarded) deferLit() {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+}
+
+// branchyOK is the manual multi-path idiom (engine.Runner.Cancel's
+// shape): every path unlocks, and the conservative tracker stays quiet.
+func (g *guarded) branchyOK(flush bool) {
+	g.mu.Lock()
+	if flush {
+		g.n = 0
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+}
+
+// leak never releases: the classic forgotten unlock.
+func (g *guarded) leak() {
+	g.mu.Lock() // want "never released"
+	g.n++
+}
+
+// mismatch releases a write lock with the read flavor: both the
+// function-level pairing and the straight-line tracker object.
+func (g *guarded) mismatch() {
+	g.rw.Lock()          // want "released with RUnlock"
+	defer g.rw.RUnlock() // want "releases a Lock"
+	g.n++
+}
+
+// wrongUnlock is the inverse mismatch: RLock released by Unlock.
+func (g *guarded) wrongUnlock() int {
+	g.rw.RLock() // want "released with Unlock"
+	n := g.n
+	g.rw.Unlock() // want "releases a RLock"
+	return n
+}
+
+// double locks a non-reentrant mutex twice on a straight line.
+func (g *guarded) double() {
+	g.mu.Lock()
+	g.mu.Lock() // want "not reentrant"
+	g.n++
+	g.mu.Unlock()
+}
+
+// earlyReturn leaves the function with the lock still held.
+func (g *guarded) earlyReturn() int {
+	g.mu.Lock() // want "never released"
+	n := g.n
+	return n // want "still Locked"
+}
+
+// handoff is the sanctioned lock-handoff pattern: the caller receives
+// the lock held and is responsible for releasing it.
+func (g *guarded) handoff() {
+	//lint:allow lockbalance(fixture: lock handed to caller)
+	g.mu.Lock()
+}
+
+// twoMutexes proves receivers are tracked independently.
+func (g *guarded) twoMutexes(h *guarded) {
+	g.mu.Lock()
+	h.mu.Lock()
+	g.n++
+	h.mu.Unlock()
+	g.mu.Unlock()
+}

@@ -1,0 +1,97 @@
+// Fixture for goroutinejoin: spotlight/internal/serve is a scoped
+// package, so every go statement here either carries join evidence or
+// expects a diagnostic.
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"joinhelper"
+)
+
+// fireAndForget is the bug the analyzer exists for: nothing ever
+// observes this goroutine's termination.
+func fireAndForget() {
+	go func() { // want "fire-and-forget"
+		_ = 1 + 1
+	}()
+}
+
+// namedFireAndForget launches a named function with no join evidence.
+func namedFireAndForget() {
+	go compute() // want "fire-and-forget"
+}
+
+func compute() {
+	_ = 1 + 1
+}
+
+// spawnerAdd is join-conscious on the spawner side: a WaitGroup Add in
+// the launching function.
+func spawnerAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// calleeDone carries evidence in the literal body: the goroutine
+// reports its own completion.
+func calleeDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// ctxReleased is the context form of the done-channel idiom: the
+// goroutine blocks on ctx.Done, so cancelling releases it.
+func ctxReleased(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// completionClose: the goroutine closes a channel the spawner receives
+// from, so the spawner blocks on completion.
+func completionClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// completionSend: same idiom with a buffered error channel, the shape
+// cmd/spotlightd uses for its serve goroutine.
+func completionSend() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// crossPackage spawns a function from another package: the receive
+// inside joinhelper.Drain travels here as an analyzer fact.
+func crossPackage(c chan int) {
+	go joinhelper.Drain(c)
+	close(c)
+}
+
+// crossFile spawns a method declared in another file of this package
+// (pump.loop in pump.go): same fact mechanism, same module.
+func crossFile(p *pump) {
+	go p.loop()
+	close(p.work)
+}
+
+// allowed is sanctioned fire-and-forget: the annotation names why.
+func allowed() {
+	//lint:allow goroutinejoin(fixture: intentional fire-and-forget)
+	go func() {
+		_ = 1 + 1
+	}()
+}

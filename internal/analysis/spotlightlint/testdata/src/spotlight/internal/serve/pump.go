@@ -1,0 +1,36 @@
+package serve
+
+// pump mirrors the obs.Server shape: a goroutine that closes a struct
+// field channel, joined by a method in a different function — the
+// package-wide receive set, not the enclosing function, proves it.
+type pump struct {
+	work chan int
+	done chan struct{}
+}
+
+// loop ranges over work — callee-side join evidence for crossFile.
+func (p *pump) loop() {
+	for range p.work {
+	}
+}
+
+// start launches a goroutine that closes p.done; stop receives from it.
+// The spawn is two functions away from the receive, so only the
+// package-wide receive set can prove the join.
+func (p *pump) start() {
+	go func() {
+		defer close(p.done)
+		p.drain()
+	}()
+}
+
+func (p *pump) drain() {
+	for range p.work {
+	}
+}
+
+// stop joins the goroutine start launched.
+func (p *pump) stop() {
+	close(p.work)
+	<-p.done
+}

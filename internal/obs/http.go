@@ -14,6 +14,7 @@ type Server struct {
 	// Addr is the bound address, useful when the caller asked for ":0".
 	Addr string
 	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine exits
 }
 
 // Serve binds addr and serves, in a background goroutine:
@@ -31,8 +32,9 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	Mount(mux, reg)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	s := &Server{Addr: ln.Addr().String(), srv: srv}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, done: make(chan struct{})}
 	go func() {
+		defer close(s.done)
 		// ErrServerClosed after Close; any other error just ends the
 		// introspection endpoint, never the search.
 		_ = srv.Serve(ln)
@@ -40,8 +42,15 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the server immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server immediately and joins the serve goroutine, so
+// a caller that has seen Close return knows no introspection goroutine
+// is still touching the registry (the shutdown tests assert exactly
+// that with a goroutine snapshot).
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
 
 // Mount registers the introspection handlers on mux:
 //

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -304,5 +305,47 @@ func TestShutdownDrainsAndRefusesSubmissions(t *testing.T) {
 	decodeError(t, rec)
 	if rec := do(t, s, "GET", "/jobs/"+st.ID, ""); rec.Code != http.StatusOK {
 		t.Fatalf("status after shutdown = %d, want 200", rec.Code)
+	}
+}
+
+// TestShutdownLeavesNoGoroutines runs the full serve lifecycle — a
+// runner with workers, the HTTP surface, a completed job, and an obs
+// introspection server — then asserts the goroutine count returns to
+// its pre-test baseline after shutdown. It is the runtime half of the
+// goroutinejoin analyzer's guarantee: the analyzer proves every spawn
+// has a join, this test proves the joins actually fire. On failure it
+// dumps every goroutine stack, so the leak names itself.
+func TestShutdownLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	r := engine.NewRunner(engine.RunnerConfig{Concurrency: 2})
+	s := New(r, obs.NewRegistry())
+	ms, err := obs.Serve("127.0.0.1:0", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := submitAndWait(t, s, simcheckBody); st.State != engine.StateDone {
+		t.Fatalf("job state = %s (%s), want done", st.State, st.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := r.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatalf("obs server close: %v", err)
+	}
+
+	// The last joins can trail Close by a scheduler beat; poll briefly
+	// before declaring a leak.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after shutdown: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
