@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint sarif vet fmt race chaos tracesmoke batchsmoke crashsmoke servesmoke bench ci
+.PHONY: all build test lint sarif vet fmt race chaos tracesmoke batchsmoke crashsmoke servesmoke metricssmoke bench ci
 
 all: build test lint
 
@@ -120,6 +120,33 @@ servesmoke:
 	cmp /tmp/clifig6/fig6.csv /tmp/served1.csv
 	cmp /tmp/clifig6/fig6.csv /tmp/served2.csv
 
+# metricssmoke proves the Prometheus exposition end to end: spotlightd's
+# /metrics negotiates the 0.0.4 text format (validated by the strict
+# parser behind cmd/promcheck), answers HEAD with the same Content-Type,
+# keeps JSON as the default representation, and publishes per-job
+# progress both as JSON (/jobs/{id}/progress) and as labeled per-job
+# gauges on the scrape. Mirrors the CI step.
+metricssmoke:
+	$(GO) build -o /tmp/spotlightd ./cmd/spotlightd
+	$(GO) build -o /tmp/promcheck ./cmd/promcheck
+	set -e; \
+	/tmp/spotlightd -addr 127.0.0.1:7078 -jobs 2 & SD=$$!; \
+	trap 'kill $$SD 2>/dev/null || true' EXIT; \
+	for i in $$(seq 50); do curl -sf http://127.0.0.1:7078/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	curl -sf http://127.0.0.1:7078/healthz >/dev/null; \
+	BODY='{"kind":"experiment","steps":["fig6"],"models":["MobileNetV2"],"hw_samples":4,"sw_samples":6,"trials":1,"eval":"sim,cache,stats"}'; \
+	curl -sf -X POST http://127.0.0.1:7078/jobs -d "$$BODY" >/dev/null; \
+	for i in $$(seq 300); do curl -s http://127.0.0.1:7078/jobs/job-1 | grep -q '"state": "done"' && break; sleep 0.5; done; \
+	curl -s http://127.0.0.1:7078/jobs/job-1 | grep -q '"state": "done"'; \
+	curl -sf http://127.0.0.1:7078/jobs/job-1/progress | grep -q '"trials_done"'; \
+	curl -sf http://127.0.0.1:7078/metrics | grep -q 'trace.cache.hit'; \
+	curl -sf -H 'Accept: text/plain' http://127.0.0.1:7078/metrics > /tmp/scrape.prom; \
+	/tmp/promcheck /tmp/scrape.prom; \
+	grep -q 'job_trials_done{job="job-1"}' /tmp/scrape.prom; \
+	grep -q '^go_goroutines ' /tmp/scrape.prom; \
+	curl -sfI -H 'Accept: text/plain' http://127.0.0.1:7078/metrics | grep -qi 'content-type: text/plain; version=0.0.4'; \
+	kill -TERM $$SD; wait $$SD
+
 # bench runs the batching benchmarks at measurement length and records
 # them in BENCH_6.json next to the frozen pre-batching baseline (the
 # "before" block below was measured at the seed of the batching change
@@ -156,4 +183,4 @@ bench:
 	  }' /tmp/bench6.txt > BENCH_6.json
 	cat BENCH_6.json
 
-ci: lint build test race chaos tracesmoke batchsmoke crashsmoke servesmoke
+ci: lint build test race chaos tracesmoke batchsmoke crashsmoke servesmoke metricssmoke

@@ -1,0 +1,47 @@
+// Command promcheck validates Prometheus text-exposition (version 0.0.4)
+// input against the strict subset spotlightd emits: HELP/TYPE ordering,
+// name and label syntax, sorted series, finite values, and histogram
+// invariants (cumulative buckets, +Inf, _sum/_count agreement). It reads
+// a scrape from a file or stdin and exits nonzero on the first
+// violation, so CI can pipe `curl .../metrics` straight into it.
+//
+// Examples:
+//
+//	curl -s -H 'Accept: text/plain' localhost:8080/metrics | promcheck -
+//	promcheck scrape.prom
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"spotlight/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck FILE  (use - for stdin)")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if name := os.Args[1]; name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidatePrometheus(data); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d bytes: exposition OK\n", len(data))
+}

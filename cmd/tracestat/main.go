@@ -77,9 +77,10 @@ func readTrace(r io.Reader) ([]obs.Event, error) {
 	return events, nil
 }
 
-// checkTrace is the -check mode: schema-validate every line and verify
-// the sequence numbers are dense from 1, which is what one JSONL sink
-// guarantees (a concatenation of several traces is not one trace).
+// checkTrace is the -check mode: schema-validate every line, verify
+// the sequence numbers are dense from 1 (which is what one JSONL sink
+// guarantees — a concatenation of several traces is not one trace), and
+// verify span well-formedness.
 func checkTrace(r io.Reader, w io.Writer) error {
 	events, err := readTrace(r)
 	if err != nil {
@@ -90,8 +91,66 @@ func checkTrace(r io.Reader, w io.Writer) error {
 			return fmt.Errorf("event %d has seq %d; want dense sequence numbers from 1", i+1, e.Seq)
 		}
 	}
-	fmt.Fprintf(w, "%d events: schema OK\n", len(events))
+	total, open, err := checkSpans(events)
+	if err != nil {
+		return err
+	}
+	switch {
+	case total == 0:
+		fmt.Fprintf(w, "%d events: schema OK\n", len(events))
+	case open == 0:
+		fmt.Fprintf(w, "%d events: schema OK (%d spans, all closed)\n", len(events), total)
+	default:
+		fmt.Fprintf(w, "%d events: schema OK (%d spans, %d left open)\n", len(events), total, open)
+	}
 	return nil
+}
+
+// checkSpans verifies span causality: span ids are fresh, every parent
+// reference — on span.start and on annotated ordinary events — resolves
+// to a span that has started, no span starts under an already-closed
+// parent, and no span is closed twice. Spans still open at end of trace
+// are reported, not rejected: a canceled or crashed run legitimately
+// truncates its stream mid-span.
+func checkSpans(events []obs.Event) (total, open int, err error) {
+	closed := map[int64]bool{} // id → span.end seen
+	for i, e := range events {
+		switch e.Type {
+		case obs.SpanStart:
+			if _, seen := closed[e.Span]; seen {
+				return 0, 0, fmt.Errorf("event %d: span.start reuses span id %d", i+1, e.Span)
+			}
+			if e.Parent != 0 {
+				done, seen := closed[e.Parent]
+				if !seen {
+					return 0, 0, fmt.Errorf("event %d: span %d starts under unknown parent %d", i+1, e.Span, e.Parent)
+				}
+				if done {
+					return 0, 0, fmt.Errorf("event %d: span %d starts under already-closed parent %d", i+1, e.Span, e.Parent)
+				}
+			}
+			closed[e.Span] = false
+			total++
+			open++
+		case obs.SpanEnd:
+			done, seen := closed[e.Span]
+			if !seen {
+				return 0, 0, fmt.Errorf("event %d: span.end for unknown span %d", i+1, e.Span)
+			}
+			if done {
+				return 0, 0, fmt.Errorf("event %d: span %d closed twice", i+1, e.Span)
+			}
+			closed[e.Span] = true
+			open--
+		default:
+			if e.Parent != 0 {
+				if _, seen := closed[e.Parent]; !seen {
+					return 0, 0, fmt.Errorf("event %d: %s event references unknown parent span %d", i+1, e.Type, e.Parent)
+				}
+			}
+		}
+	}
+	return total, open, nil
 }
 
 // summarize renders the full report.
@@ -118,9 +177,35 @@ func summarize(r io.Reader, w io.Writer) error {
 		best   float64
 	}
 	var conv []improvement
+	// Span tree, reconstructed from span.start/span.end pairs. childDur
+	// accumulates the cumulative time of direct children so self time is
+	// cum − childDur without a second pass.
+	type spanRec struct {
+		kind     string
+		parent   int64
+		dur      float64
+		childDur float64
+		children int
+		closed   bool
+	}
+	spans := map[int64]*spanRec{}
+	var spanOrder []int64
+	// Individual evals, kept for the slowest-N list and per-backend
+	// attribution (Scope on eval.done is the backend name the eval
+	// middleware observed).
+	type evalRec struct {
+		durMS   float64
+		outcome string
+		scope   string
+		parent  int64
+	}
+	var evals []evalRec
 	for _, e := range events {
 		counts[e.Type]++
-		if e.DurMS > 0 {
+		// span.end durations are reported by the span section below;
+		// folding them into the flat phase table would double-count the
+		// leaf work they contain.
+		if e.DurMS > 0 && e.Type != obs.SpanEnd {
 			durTotal[e.Type] += e.DurMS
 			durCount[e.Type]++
 		}
@@ -133,6 +218,9 @@ func summarize(r io.Reader, w io.Writer) error {
 			conv = append(conv, improvement{sample: e.Sample, best: e.Value})
 		case obs.EvalDone:
 			evalOutcomes[e.Detail]++
+			if e.DurMS > 0 {
+				evals = append(evals, evalRec{durMS: e.DurMS, outcome: e.Detail, scope: e.Scope, parent: e.Parent})
+			}
 		case obs.EvalBatch:
 			batchCalls++
 			batchedItems += e.N
@@ -143,6 +231,22 @@ func summarize(r io.Reader, w io.Writer) error {
 			// aggregate by kind.
 			kind, _, _ := strings.Cut(e.Detail, ":")
 			persistCounts[kind]++
+		case obs.SpanStart:
+			if _, seen := spans[e.Span]; !seen {
+				spans[e.Span] = &spanRec{kind: e.Detail, parent: e.Parent}
+				spanOrder = append(spanOrder, e.Span)
+				if p := spans[e.Parent]; p != nil {
+					p.children++
+				}
+			}
+		case obs.SpanEnd:
+			if s := spans[e.Span]; s != nil && !s.closed {
+				s.closed = true
+				s.dur = e.DurMS
+				if p := spans[s.parent]; p != nil {
+					p.childDur += e.DurMS
+				}
+			}
 		}
 	}
 
@@ -206,6 +310,115 @@ func summarize(r io.Reader, w io.Writer) error {
 	}
 	if n := counts[obs.DABOFit]; n > 0 {
 		fmt.Fprintf(w, "surrogate: %d fits, %d degradations\n", n, counts[obs.DABODegraded])
+	}
+
+	if len(spanOrder) > 0 {
+		open := 0
+		for _, id := range spanOrder {
+			if !spans[id].closed {
+				open++
+			}
+		}
+		if open == 0 {
+			fmt.Fprintf(w, "\nspans: %d, all closed\n", len(spanOrder))
+		} else {
+			fmt.Fprintf(w, "\nspans: %d, %d left open\n", len(spanOrder), open)
+		}
+
+		// Per-kind cumulative vs self time. Self time is a span's duration
+		// minus its direct children's durations — what the span spent that
+		// no child accounts for. Rounding can push the difference a hair
+		// negative; clamp.
+		type kindAgg struct {
+			count int
+			cum   float64
+			self  float64
+		}
+		kinds := map[string]*kindAgg{}
+		var kindOrder []string
+		var rootDur, leafDur float64
+		for _, id := range spanOrder {
+			s := spans[id]
+			if !s.closed {
+				continue
+			}
+			agg := kinds[s.kind]
+			if agg == nil {
+				agg = &kindAgg{}
+				kinds[s.kind] = agg
+				kindOrder = append(kindOrder, s.kind)
+			}
+			agg.count++
+			agg.cum += s.dur
+			self := s.dur - s.childDur
+			if self < 0 {
+				self = 0
+			}
+			agg.self += self
+			if spans[s.parent] == nil {
+				rootDur += s.dur
+			}
+			if s.children == 0 {
+				leafDur += s.dur
+			}
+		}
+		sort.Slice(kindOrder, func(i, j int) bool {
+			a, b := kinds[kindOrder[i]], kinds[kindOrder[j]]
+			if a.cum != b.cum { //lint:allow floateq(exact inequality picks the tie-break branch; any tolerance would make the sort order depend on it)
+				return a.cum > b.cum
+			}
+			return kindOrder[i] < kindOrder[j]
+		})
+		fmt.Fprintf(w, "span time (cumulative vs self):\n")
+		fmt.Fprintf(w, "  kind               count     cum ms    self ms\n")
+		for _, kind := range kindOrder {
+			agg := kinds[kind]
+			fmt.Fprintf(w, "  %-18s %5d %10.1f %10.1f\n", kind, agg.count, agg.cum, agg.self)
+		}
+		if rootDur > 0 {
+			fmt.Fprintf(w, "critical path: leaf spans account for %.1f%% of the root span's %.1f ms\n",
+				100*leafDur/rootDur, rootDur)
+		}
+
+		if len(evals) > 0 {
+			sort.SliceStable(evals, func(i, j int) bool { return evals[i].durMS > evals[j].durMS })
+			top := evals
+			if len(top) > 5 {
+				top = top[:5]
+			}
+			fmt.Fprintf(w, "slowest evals:\n")
+			for _, ev := range top {
+				scope := ev.scope
+				if scope == "" {
+					scope = "(unscoped)"
+				}
+				in := ""
+				if s := spans[ev.parent]; s != nil {
+					in = "  in " + s.kind
+				}
+				fmt.Fprintf(w, "  %6.1f ms  %-8s %s%s\n", ev.durMS, ev.outcome, scope, in)
+			}
+			backendMS := map[string]float64{}
+			backendN := map[string]int{}
+			for _, ev := range evals {
+				scope := ev.scope
+				if scope == "" {
+					scope = "(unscoped)"
+				}
+				backendMS[scope] += ev.durMS
+				backendN[scope]++
+			}
+			names := make([]string, 0, len(backendMS))
+			for name := range backendMS { //lint:allow maporder(sorted before rendering, two lines down)
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			parts := make([]string, 0, len(names))
+			for _, name := range names {
+				parts = append(parts, fmt.Sprintf("%s=%.1f ms/%d evals", name, backendMS[name], backendN[name]))
+			}
+			fmt.Fprintf(w, "eval time by backend: %s\n", strings.Join(parts, "  "))
+		}
 	}
 	return nil
 }

@@ -43,7 +43,38 @@ func TestCheckAcceptsGoldenTrace(t *testing.T) {
 	if err := checkTrace(bytes.NewReader(trace), &out); err != nil {
 		t.Fatalf("check: %v", err)
 	}
-	if got, want := out.String(), "44 events: schema OK\n"; got != want {
+	if got, want := out.String(), "68 events: schema OK (12 spans, all closed)\n"; got != want {
+		t.Errorf("check output = %q, want %q", got, want)
+	}
+}
+
+// TestCheckSpanlessTrace pins the pre-span output shape: a trace with no
+// span events reports the plain event count, so old traces keep their
+// exact -check output.
+func TestCheckSpanlessTrace(t *testing.T) {
+	trace := `{"seq":1,"t_ms":0,"type":"cache.hit"}` + "\n" +
+		`{"seq":2,"t_ms":1,"type":"cache.miss"}` + "\n"
+	var out bytes.Buffer
+	if err := checkTrace(strings.NewReader(trace), &out); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if got, want := out.String(), "2 events: schema OK\n"; got != want {
+		t.Errorf("check output = %q, want %q", got, want)
+	}
+}
+
+// TestCheckReportsOpenSpans verifies that a truncated trace — spans
+// started but never ended, as a canceled or crashed run leaves behind —
+// is accepted and the open spans are reported, not treated as an error.
+func TestCheckReportsOpenSpans(t *testing.T) {
+	trace := `{"seq":1,"t_ms":0,"type":"span.start","span":1,"detail":"job"}` + "\n" +
+		`{"seq":2,"t_ms":0,"type":"span.start","span":2,"parent":1,"detail":"run"}` + "\n" +
+		`{"seq":3,"t_ms":1,"type":"span.end","span":2,"parent":1,"detail":"run","dur_ms":1}` + "\n"
+	var out bytes.Buffer
+	if err := checkTrace(strings.NewReader(trace), &out); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if got, want := out.String(), "3 events: schema OK (2 spans, 1 left open)\n"; got != want {
 		t.Errorf("check output = %q, want %q", got, want)
 	}
 }
@@ -72,6 +103,41 @@ func TestCheckRejectsBadTraces(t *testing.T) {
 			trace: `{"seq":1,"t_ms":0,"type":"cache.hit"}` + "\n" +
 				`{"seq":3,"t_ms":1,"type":"cache.hit"}` + "\n",
 			wantErr: "dense sequence",
+		},
+		{
+			name: "reused span id",
+			trace: `{"seq":1,"t_ms":0,"type":"span.start","span":1,"detail":"job"}` + "\n" +
+				`{"seq":2,"t_ms":1,"type":"span.start","span":1,"detail":"run"}` + "\n",
+			wantErr: "reuses span id",
+		},
+		{
+			name:    "span with unknown parent",
+			trace:   `{"seq":1,"t_ms":0,"type":"span.start","span":2,"parent":1,"detail":"run"}` + "\n",
+			wantErr: "unknown parent",
+		},
+		{
+			name: "span under closed parent",
+			trace: `{"seq":1,"t_ms":0,"type":"span.start","span":1,"detail":"job"}` + "\n" +
+				`{"seq":2,"t_ms":1,"type":"span.end","span":1,"detail":"job","dur_ms":1}` + "\n" +
+				`{"seq":3,"t_ms":2,"type":"span.start","span":2,"parent":1,"detail":"run"}` + "\n",
+			wantErr: "already-closed parent",
+		},
+		{
+			name:    "span.end for unknown span",
+			trace:   `{"seq":1,"t_ms":0,"type":"span.end","span":7,"detail":"run","dur_ms":1}` + "\n",
+			wantErr: "unknown span",
+		},
+		{
+			name: "span closed twice",
+			trace: `{"seq":1,"t_ms":0,"type":"span.start","span":1,"detail":"job"}` + "\n" +
+				`{"seq":2,"t_ms":1,"type":"span.end","span":1,"detail":"job","dur_ms":1}` + "\n" +
+				`{"seq":3,"t_ms":2,"type":"span.end","span":1,"detail":"job","dur_ms":2}` + "\n",
+			wantErr: "closed twice",
+		},
+		{
+			name:    "event references unknown parent span",
+			trace:   `{"seq":1,"t_ms":0,"type":"cache.hit","parent":9}` + "\n",
+			wantErr: "unknown parent span",
 		},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,18 @@
+package spotlightlint_test
+
+import (
+	"testing"
+
+	"spotlight/internal/analysis/lintkit/linttest"
+	"spotlight/internal/analysis/spotlightlint"
+)
+
+// TestSpanBalance proves discarded spans (bare-statement and
+// blank-assigned constructor calls, from obs.StartSpan, obs.ChildOrRoot,
+// and the Child/ChildSample/ChildLabel methods) and never-ended spans
+// (including the `_ = sp` compiler-silencer) are flagged, that deferred,
+// stored, returned, closure-captured, passed-on, and reassigned spans
+// stay silent, and that //lint:allow suppresses.
+func TestSpanBalance(t *testing.T) {
+	linttest.Run(t, "testdata", spotlightlint.SpanBalance, "spanpkg")
+}

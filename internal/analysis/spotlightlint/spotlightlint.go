@@ -32,6 +32,9 @@
 //     WaitGroup, or sync/atomic state.
 //   - ctxcancel: cancel funcs from context.WithCancel/WithTimeout are
 //     called or escape — a lost cancel is a leak per call site.
+//   - spanbalance: spans from obs.StartSpan/ChildOrRoot/Child* are
+//     ended or escape — a lost span never emits span.end and leaves its
+//     subtree open in every trace consumer.
 //
 // Any finding can be suppressed with an inline or preceding-line
 // annotation naming its reason: //lint:allow wallclock(latency counter).
@@ -126,5 +129,6 @@ func Analyzers() []*lintkit.Analyzer {
 		LockBalance,
 		MutexCopy,
 		CtxCancel,
+		SpanBalance,
 	}
 }

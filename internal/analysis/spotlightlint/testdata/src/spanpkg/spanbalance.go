@@ -1,0 +1,96 @@
+// Fixture for spanbalance: discarded and never-ended spans are flagged;
+// deferred, escaping, returned, closure-captured, and passed-on spans
+// stay silent, as does the //lint:allow escape hatch.
+package spanpkg
+
+import "spotlight/internal/obs"
+
+func good(tr obs.Tracer) {
+	sp := obs.StartSpan(tr, "job")
+	defer sp.End()
+}
+
+func goodChild(parent *obs.Span) {
+	sp := parent.Child("trial")
+	sp.End()
+}
+
+func goodRoot(parent *obs.Span, tr obs.Tracer) {
+	sp := obs.ChildOrRoot(parent, tr, "run")
+	defer sp.End()
+}
+
+func discard(tr obs.Tracer) {
+	obs.StartSpan(tr, "job") // want "is discarded"
+}
+
+func discardBlank(tr obs.Tracer) {
+	_ = obs.StartSpan(tr, "job") // want "is discarded"
+}
+
+func discardChild(parent *obs.Span) {
+	parent.ChildSample("trial", 1) // want "is discarded"
+}
+
+// neverEnded silences the compiler with `_ = sp`, which is the same leak
+// wearing a disguise.
+func neverEnded(tr obs.Tracer) {
+	sp := obs.StartSpan(tr, "job") // want "sp is never ended"
+	_ = sp
+}
+
+func neverEndedLabel(parent *obs.Span) {
+	step := parent.ChildLabel("exp.step", "fig6") // want "step is never ended"
+	_ = step
+}
+
+type config struct {
+	span *obs.Span
+}
+
+// stored escapes into a struct: some other code's responsibility.
+func stored(tr obs.Tracer, cfg *config) {
+	cfg.span = obs.StartSpan(tr, "job")
+}
+
+// storedVar escapes via a variable that is then stored.
+func storedVar(tr obs.Tracer, cfg *config) {
+	sp := obs.StartSpan(tr, "job")
+	cfg.span = sp
+}
+
+// returned hands the span to the caller.
+func returned(tr obs.Tracer) *obs.Span {
+	sp := obs.StartSpan(tr, "job")
+	return sp
+}
+
+// captured is referenced by a closure, which keeps it live.
+func captured(tr obs.Tracer) func() {
+	sp := obs.StartSpan(tr, "job")
+	return func() { sp.End() }
+}
+
+// passed forwards the span to another function.
+func passed(tr obs.Tracer) {
+	sp := obs.StartSpan(tr, "job")
+	keep(sp)
+}
+
+func keep(*obs.Span) {}
+
+// reassigned writes into an existing variable whose other references
+// keep it alive.
+func reassigned(tr obs.Tracer) {
+	sp := obs.StartSpan(tr, "outer")
+	sp.End()
+	sp = obs.StartSpan(tr, "inner")
+	sp.End()
+}
+
+// allowed documents an intentional fire-and-forget span.
+func allowed(tr obs.Tracer) {
+	//lint:allow spanbalance(fixture: ended by a watchdog elsewhere)
+	sp := obs.StartSpan(tr, "job")
+	_ = sp
+}

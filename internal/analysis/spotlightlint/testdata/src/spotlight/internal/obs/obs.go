@@ -9,3 +9,21 @@ import "time"
 func Now() time.Time { return time.Now() }
 
 func Since(start time.Time) time.Duration { return time.Since(start) }
+
+// Tracer and Span mirror the real causal-span API closely enough for the
+// spanbalance fixture packages to type-check against this stub.
+type Tracer interface{ Enabled() bool }
+
+type Span struct{}
+
+func StartSpan(tr Tracer, kind string) *Span { return nil }
+
+func ChildOrRoot(parent *Span, tr Tracer, kind string) *Span { return nil }
+
+func (s *Span) Child(kind string) *Span { return nil }
+
+func (s *Span) ChildSample(kind string, sample int) *Span { return nil }
+
+func (s *Span) ChildLabel(kind, value string) *Span { return nil }
+
+func (s *Span) End() {}

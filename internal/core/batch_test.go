@@ -79,7 +79,7 @@ func TestBatchedRoundClamping(t *testing.T) {
 	const budget = 10
 	cfg := RunConfig{Eval: &scriptEval{}, Objective: MinDelay}
 	sw := &roundRecorder{round: 1 << 20}
-	res := runLayerSearch(context.Background(), cfg, sw, hw.Accel{}, workload.Layer{Name: "x"}, budget)
+	res := runLayerSearch(context.Background(), cfg, sw, hw.Accel{}, workload.Layer{Name: "x"}, budget, nil)
 	if sw.suggests != budget {
 		t.Fatalf("driver drew %d suggestions, want %d", sw.suggests, budget)
 	}
@@ -104,7 +104,7 @@ func TestBatchedMatchesSequentialDriver(t *testing.T) {
 	run := func(disable bool) (LayerResult, []string) {
 		cfg := RunConfig{Eval: &scriptEval{}, Objective: MinDelay, DisableBatch: disable}
 		sw := &roundRecorder{round: 3}
-		res := runLayerSearch(context.Background(), cfg, sw, hw.Accel{}, workload.Layer{Name: "x"}, budget)
+		res := runLayerSearch(context.Background(), cfg, sw, hw.Accel{}, workload.Layer{Name: "x"}, budget, nil)
 		return res, sw.log
 	}
 	batched, blog := run(false)

@@ -73,6 +73,14 @@ type RunConfig struct {
 	// when Workers != 1 (all obs sinks are).
 	Tracer obs.Tracer
 
+	// Span, when non-nil, is the parent under which RunContext opens its
+	// "run" span (engine passes its per-job "job" span here), rooting the
+	// run → trial → hw.propose → sw.layer span tree. Without it — and
+	// with a tracer — RunContext opens a root span itself. Like Tracer,
+	// spans are observe-only and excluded from the checkpoint
+	// fingerprint: the Fingerprint allowlist never sees this field.
+	Span *obs.Span
+
 	// Resume, when non-nil, restores the state of a previous run of the
 	// *same* configuration and strategy (enforced by fingerprint) and
 	// continues from the first hardware sample the checkpoint does not
@@ -258,18 +266,22 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 		elapsedOffset = st.elapsed
 	}
 
-	tr := cfg.Tracer
-	if obs.Enabled(tr) {
-		tr.Emit(obs.Event{Type: obs.RunStart, Detail: strat.Name(), N: cfg.HWSamples})
+	// runSpan is non-nil exactly when tracing is live (a parent span
+	// implies an enabled tracer), so it doubles as the emission guard for
+	// the run-lifecycle events, which all carry Parent = the run span.
+	runSpan := obs.ChildOrRoot(cfg.Span, cfg.Tracer, "run")
+	if runSpan != nil {
+		runSpan.Emit(obs.Event{Type: obs.RunStart, Detail: strat.Name(), N: cfg.HWSamples})
 		if cfg.Resume != nil {
-			tr.Emit(obs.Event{Type: obs.CheckpointLoad, Sample: startSample - 1})
+			runSpan.Emit(obs.Event{Type: obs.CheckpointLoad, Sample: startSample - 1})
 		}
 	}
 	finish := func() {
 		res.Frontier = frontier.Designs()
 		res.Top = top.Designs()
-		if obs.Enabled(tr) {
-			tr.Emit(obs.Event{Type: obs.RunEnd, N: len(res.History)})
+		if runSpan != nil {
+			runSpan.Emit(obs.Event{Type: obs.RunEnd, N: len(res.History)})
+			runSpan.End()
 		}
 	}
 	// HistoryPoint.Elapsed is wall-clock by contract; the CSV column is
@@ -282,15 +294,21 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 			finish()
 			return res, stoppedErr(strat, t-1, cfg.HWSamples, err)
 		}
+		trialSpan := runSpan.ChildSample("trial", t)
+		proposeSpan := trialSpan.Child("hw.propose")
+		setSpan(hwSearch, proposeSpan)
 		accel := hwSearch.Suggest()
-		if obs.Enabled(tr) {
-			tr.Emit(obs.Event{Type: obs.HWPropose, Sample: t, Detail: accel.String()})
+		setSpan(hwSearch, nil)
+		proposeSpan.End()
+		if trialSpan != nil {
+			trialSpan.Emit(obs.Event{Type: obs.HWPropose, Sample: t, Detail: accel.String()})
 		}
-		design, derr := evaluateHardware(ctx, cfg, strat, accel, layers, swBudget, t)
+		design, derr := evaluateHardware(ctx, cfg, strat, accel, layers, swBudget, t, trialSpan)
 		if err := ctx.Err(); err != nil {
 			// This sample's software search was cut short; its
 			// half-optimized design would not match an uninterrupted
 			// run's, so the sample is discarded, not observed.
+			trialSpan.End()
 			finish()
 			return res, stoppedErr(strat, t-1, cfg.HWSamples, err)
 		}
@@ -305,8 +323,8 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 		}
 		if value < res.Best.Objective {
 			res.Best = design
-			if obs.Enabled(tr) {
-				tr.Emit(obs.Event{Type: obs.Incumbent, Sample: t, Value: value})
+			if trialSpan != nil {
+				trialSpan.Emit(obs.Event{Type: obs.Incumbent, Sample: t, Value: value})
 			}
 		}
 		res.History = append(res.History, HistoryPoint{
@@ -324,15 +342,17 @@ func RunContext(ctx context.Context, cfg RunConfig, strat Strategy) (Result, err
 			cpStart := obs.Now()
 			cp := buildCheckpoint(cfg, strat, observed, &res, &frontier, &top)
 			if err := cfg.OnCheckpoint(cp); err != nil {
+				trialSpan.End()
 				finish()
 				return res, fmt.Errorf("core: %s: checkpoint after sample %d: %w",
 					strat.Name(), t, err)
 			}
-			if obs.Enabled(tr) {
-				tr.Emit(obs.Event{Type: obs.CheckpointSave, Sample: t,
+			if trialSpan != nil {
+				trialSpan.Emit(obs.Event{Type: obs.CheckpointSave, Sample: t,
 					DurMS: obs.MS(obs.Since(cpStart))})
 			}
 		}
+		trialSpan.End()
 	}
 	finish()
 	if math.IsInf(res.Best.Objective, 1) {
@@ -383,7 +403,7 @@ func deriveSeed(seed int64, streams ...int64) int64 {
 // invalid, or has a layer with no feasible schedule (the lowest-index
 // infeasible layer is reported, for determinism).
 func evaluateHardware(ctx context.Context, cfg RunConfig, strat Strategy, accel hw.Accel,
-	layers []modelLayer, swBudget, sample int) (Design, error) {
+	layers []modelLayer, swBudget, sample int, trialSpan *obs.Span) (Design, error) {
 
 	design := Design{Accel: accel, Objective: math.Inf(1)}
 	if err := accel.Validate(); err != nil {
@@ -403,26 +423,32 @@ func evaluateHardware(ctx context.Context, cfg RunConfig, strat Strategy, accel 
 		sws[i] = strat.NewSW(cfg, rng, accel, ml.layer)
 	}
 	design.Layers = make([]LayerResult, len(layers))
-	if err := pool.RunCtxTraced(ctx, len(layers), cfg.Workers, cfg.Tracer, func(i int) {
+	if err := pool.RunCtxSpan(ctx, len(layers), cfg.Workers, cfg.Tracer, trialSpan, func(i int) {
 		name := layers[i].model + "/" + layers[i].layer.Name
-		traced := obs.Enabled(cfg.Tracer)
+		// One sw.layer span per layer search; each lives entirely on its
+		// worker goroutine. The sw.start/sw.end events (and everything the
+		// eval stack emits below) hang off it.
+		layerSpan := trialSpan.ChildLabel("sw.layer", name)
+		setSpan(sws[i], layerSpan)
 		var swStart time.Time
-		if traced {
-			cfg.Tracer.Emit(obs.Event{Type: obs.SWStart, Sample: sample, Layer: name})
+		if layerSpan != nil {
+			layerSpan.Emit(obs.Event{Type: obs.SWStart, Sample: sample, Layer: name})
 			swStart = obs.Now()
 		}
-		lr := runLayerSearch(ctx, cfg, sws[i], accel, layers[i].layer, swBudget)
+		lr := runLayerSearch(ctx, cfg, sws[i], accel, layers[i].layer, swBudget, layerSpan)
 		lr.Model = layers[i].model
 		design.Layers[i] = lr
-		if traced {
+		if layerSpan != nil {
 			e := obs.Event{Type: obs.SWEnd, Sample: sample, Layer: name,
 				Detail: "invalid", DurMS: obs.MS(obs.Since(swStart))}
 			if lr.Valid {
 				e.Detail = "valid"
 				e.Value = cfg.Objective.LayerCost(lr.Cost)
 			}
-			cfg.Tracer.Emit(e)
+			layerSpan.Emit(e)
 		}
+		setSpan(sws[i], nil)
+		layerSpan.End()
 	}); err != nil {
 		// Canceled mid-sample; the caller discards this design.
 		return design, err
@@ -456,8 +482,13 @@ func evaluateHardware(ctx context.Context, cfg RunConfig, strat Strategy, accel 
 // best schedule found. Valid is false when every sample was infeasible.
 func OptimizeLayer(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Accel,
 	layer workload.Layer, budget int) LayerResult {
-	return runLayerSearch(context.Background(), cfg, strat.NewSW(cfg, rng, accel, layer),
-		accel, layer, budget)
+	sp := obs.ChildOrRoot(cfg.Span, cfg.Tracer, "sw.layer")
+	defer sp.End()
+	sw := strat.NewSW(cfg, rng, accel, layer)
+	setSpan(sw, sp)
+	lr := runLayerSearch(context.Background(), cfg, sw, accel, layer, budget, sp)
+	setSpan(sw, nil)
+	return lr
 }
 
 // runLayerSearch drives one software proposer through its sample budget,
@@ -474,10 +505,10 @@ func OptimizeLayer(cfg RunConfig, strat Strategy, rng *rand.Rand, accel hw.Accel
 // produce the same LayerResult bit for bit — cfg.DisableBatch exists to
 // verify exactly that.
 func runLayerSearch(ctx context.Context, cfg RunConfig, sw SWProposer, accel hw.Accel,
-	layer workload.Layer, budget int) LayerResult {
+	layer workload.Layer, budget int, sp *obs.Span) LayerResult {
 
 	if rp, ok := sw.(RoundProposer); ok && !cfg.DisableBatch {
-		return runLayerSearchBatched(ctx, cfg, rp, accel, layer, budget)
+		return runLayerSearchBatched(ctx, cfg, rp, accel, layer, budget, sp)
 	}
 
 	best := LayerResult{Layer: layer}
@@ -487,7 +518,7 @@ func runLayerSearch(ctx context.Context, cfg RunConfig, sw SWProposer, accel hw.
 			break
 		}
 		s := sw.Suggest()
-		cost, err := cfg.Eval.Evaluate(accel, s, layer)
+		cost, err := EvaluateSpan(cfg.Eval, sp, accel, s, layer)
 		obj := math.Inf(1)
 		if err == nil {
 			obj = cfg.Objective.LayerCost(cost)
@@ -519,7 +550,7 @@ func runLayerSearch(ctx context.Context, cfg RunConfig, sw SWProposer, accel hw.
 // search is discarded by the caller either way, so the coarser check
 // cannot change any completed run's output.
 func runLayerSearchBatched(ctx context.Context, cfg RunConfig, sw RoundProposer, accel hw.Accel,
-	layer workload.Layer, budget int) LayerResult {
+	layer workload.Layer, budget int, sp *obs.Span) LayerResult {
 
 	best := LayerResult{Layer: layer}
 	bestObj := math.Inf(1)
@@ -539,7 +570,7 @@ func runLayerSearchBatched(ctx context.Context, cfg RunConfig, sw RoundProposer,
 		for j := 0; j < n; j++ {
 			ss = append(ss, sw.Suggest())
 		}
-		costs, errs := EvaluateBatch(cfg.Eval, accel, ss, layer)
+		costs, errs := EvaluateBatchSpan(cfg.Eval, sp, accel, ss, layer)
 		for j := range ss {
 			s, cost, err := ss[j], costs[j], errs[j]
 			obj := math.Inf(1)
@@ -577,8 +608,10 @@ func OptimizeSoftware(cfg RunConfig, strat Strategy, accel hw.Accel) (Design, er
 	if err != nil {
 		return Design{}, err
 	}
+	sp := obs.ChildOrRoot(cfg.Span, cfg.Tracer, "run")
+	defer sp.End()
 	design, derr := evaluateHardware(context.Background(), cfg, strat, accel,
-		collectLayers(cfg.Models), strat.SWBudget(cfg), 0)
+		collectLayers(cfg.Models), strat.SWBudget(cfg), 0, sp)
 	if derr != nil {
 		return design, derr
 	}

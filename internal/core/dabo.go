@@ -50,6 +50,10 @@ type DABO struct {
 	// ("hw" or "sw"); nil disables. Tracing never changes suggestions.
 	tracer obs.Tracer
 	scope  string
+	// span, when set (via SetSpan, by the driver, around Suggest calls),
+	// parents the fit events under the current hw.propose or sw.layer
+	// span and routes them to the span's sink.
+	span *obs.Span
 }
 
 // DABOOption configures a DABO instance.
@@ -84,6 +88,12 @@ func WithTracer(tr obs.Tracer, scope string) DABOOption {
 		d.scope = scope
 	}
 }
+
+// SetSpan implements SpanCarrier: subsequent fit events are attributed
+// to sp (and emitted to sp's tracer) until SetSpan(nil). The driver
+// brackets Suggest calls with it; calls are goroutine-confined per the
+// Strategy contract.
+func (d *DABO) SetSpan(sp *obs.Span) { d.span = sp }
 
 // NewDABO returns a daBO optimizer using the given kernel. The paper's
 // configuration is a linear kernel (gp.Linear); §VII-D also evaluates
@@ -247,7 +257,7 @@ func (d *DABO) ensureFit() error {
 	if len(d.x)+len(d.invalid) == 0 {
 		return gp.ErrNoData
 	}
-	traced := obs.Enabled(d.tracer)
+	traced := obs.Active(d.span, d.tracer)
 	var fitStart time.Time
 	if traced {
 		fitStart = obs.Now()
@@ -260,12 +270,12 @@ func (d *DABO) ensureFit() error {
 		if err != nil {
 			e.Detail = err.Error()
 		}
-		d.tracer.Emit(e)
+		d.span.EmitTo(d.tracer, e)
 	}
 	if err != nil {
 		d.fitAttempts++
 		if traced && d.Degraded() {
-			d.tracer.Emit(obs.Event{Type: obs.DABODegraded, Scope: d.scope})
+			d.span.EmitTo(d.tracer, obs.Event{Type: obs.DABODegraded, Scope: d.scope})
 		}
 		return err
 	}

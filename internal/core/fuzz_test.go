@@ -90,7 +90,7 @@ func FuzzLayerSearchFaultSequences(f *testing.F) {
 		accel := cfg.Space.Random(rand.New(rand.NewSource(seed)))
 		rng := rand.New(rand.NewSource(deriveSeed(seed, 1, 0)))
 		sw := NewSpotlight().NewSW(cfg, rng, accel, layer)
-		res := runLayerSearch(context.Background(), cfg, sw, accel, layer, 8)
+		res := runLayerSearch(context.Background(), cfg, sw, accel, layer, 8, nil)
 		if res.Valid {
 			if !res.Cost.Finite() {
 				t.Fatalf("valid result with non-finite cost: %+v", res.Cost)

@@ -6,6 +6,7 @@ import (
 
 	"spotlight/internal/gp"
 	"spotlight/internal/hw"
+	"spotlight/internal/obs"
 	"spotlight/internal/sched"
 	"spotlight/internal/workload"
 )
@@ -134,6 +135,10 @@ func (h *spotlightHW) Suggest() hw.Accel {
 	return cands[idx]
 }
 
+// SetSpan implements SpanCarrier by forwarding to the embedded daBO, so
+// hw-scope fit events land under the driver's hw.propose span.
+func (h *spotlightHW) SetSpan(sp *obs.Span) { h.dabo.SetSpan(sp) }
+
 func (h *spotlightHW) Observe(a hw.Accel, objective float64, err error) {
 	f := Transform(h.features, Point{Accel: a})
 	if InvalidObservation(objective, err) {
@@ -188,6 +193,10 @@ func (w *spotlightSW) Suggest() sched.Schedule {
 	idx := w.dabo.SuggestIndex(feats)
 	return cands[idx]
 }
+
+// SetSpan implements SpanCarrier by forwarding to the embedded daBO, so
+// sw-scope fit events land under the enclosing sw.layer span.
+func (w *spotlightSW) SetSpan(sp *obs.Span) { w.dabo.SetSpan(sp) }
 
 func (w *spotlightSW) Observe(s sched.Schedule, objective float64, err error) {
 	f := Transform(w.features, Point{Accel: w.accel, Sched: s, Layer: w.layer})

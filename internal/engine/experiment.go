@@ -107,6 +107,11 @@ func RunExperiments(ctx context.Context, spec JobSpec, opts ExperimentOptions) (
 	for _, k := range spec.Steps {
 		want[k] = true
 	}
+	// The job span roots the span tree; each executed step nests an
+	// exp.step span labeled with its key, and the runs a step drives
+	// nest under that via cfg.Span.
+	jobSpan := obs.StartSpan(opts.Tracer, "job")
+	defer jobSpan.End()
 	st := &stepState{}
 	var results []StepResult
 	for _, s := range experimentSteps {
@@ -119,7 +124,11 @@ func RunExperiments(ctx context.Context, spec JobSpec, opts ExperimentOptions) (
 		if opts.OnStepStart != nil {
 			opts.OnStepStart(s.key)
 		}
-		res, err := s.fn(cfg, st)
+		stepSpan := jobSpan.ChildLabel("exp.step", s.key)
+		stepCfg := cfg
+		stepCfg.Span = stepSpan
+		res, err := s.fn(stepCfg, st)
+		stepSpan.End()
 		if err != nil {
 			return results, fmt.Errorf("%s: %w", s.key, err)
 		}

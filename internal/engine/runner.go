@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"spotlight/internal/core"
 	"spotlight/internal/eval"
@@ -98,6 +99,7 @@ type Job struct {
 	id          string
 	spec        JobSpec // normalized at submission
 	trace       *TraceBuffer
+	reg         *obs.Registry // per-job metrics, fed by the job's own MetricsTracer
 	done        chan struct{}
 	resumedFrom string
 	resume      *core.Checkpoint // checkpoint to restart from, for resumed jobs
@@ -107,8 +109,10 @@ type Job struct {
 	cancel     context.CancelFunc // set while running
 	err        error
 	summary    string
-	best       float64 // best objective; +Inf until a feasible design lands
-	samples    int     // completed hardware samples (search jobs)
+	best       float64   // best objective; +Inf until a feasible design lands
+	samples    int       // completed hardware samples (search jobs)
+	started    time.Time // when the job left the queue; zero while queued
+	ended      time.Time // when the job went terminal; zero until then
 	artifacts  []Artifact
 	checkpoint *core.Checkpoint // latest, retained for resume
 }
@@ -172,6 +176,80 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
+// Metrics returns the job's private metrics registry — every trace
+// event the job emits is folded into it, so counters like
+// trace.eval.done and trace.cache.hit are per-job, not server-wide.
+func (j *Job) Metrics() *obs.Registry { return j.reg }
+
+// JobProgress is the live search-progress view served at
+// GET /jobs/{id}/progress: how far the job is, how fast evaluations are
+// going, how much the cache is absorbing, and a naive linear ETA.
+// Throughput and cache figures come from the job's own metrics registry,
+// so concurrent jobs never blur into each other.
+type JobProgress struct {
+	ID            string   `json:"id"`
+	Kind          string   `json:"kind"`
+	State         string   `json:"state"`
+	TrialsDone    int      `json:"trials_done"`
+	TrialsTotal   int      `json:"trials_total,omitempty"`
+	BestObjective *float64 `json:"best_objective,omitempty"`
+	Evals         int64    `json:"evals"`
+	EvalsPerSec   float64  `json:"evals_per_sec"`
+	CacheHits     int64    `json:"cache_hits"`
+	CacheMisses   int64    `json:"cache_misses"`
+	CacheHitRate  float64  `json:"cache_hit_rate"`
+	ElapsedS      float64  `json:"elapsed_s"`
+	ETAS          float64  `json:"eta_s,omitempty"`
+	Events        int      `json:"events"`
+}
+
+// Progress snapshots the job's live progress. Elapsed time freezes at
+// the terminal timestamp once the job finishes, so throughput figures
+// stay meaningful afterwards. The ETA is elapsed scaled by remaining
+// trials — linear extrapolation, reported only while running with at
+// least one trial done.
+func (j *Job) Progress() JobProgress {
+	j.mu.Lock()
+	p := JobProgress{
+		ID:         j.id,
+		Kind:       j.spec.Kind,
+		State:      j.state,
+		TrialsDone: j.samples,
+	}
+	if j.spec.Kind == KindSearch {
+		p.TrialsTotal = j.spec.HWSamples
+	}
+	if !math.IsInf(j.best, 0) {
+		v := j.best
+		p.BestObjective = &v
+	}
+	started, ended := j.started, j.ended
+	j.mu.Unlock()
+
+	p.Events = j.trace.Len()
+	p.Evals = j.reg.Counter("trace.eval.done").Value()
+	p.CacheHits = j.reg.Counter("trace.cache.hit").Value()
+	p.CacheMisses = j.reg.Counter("trace.cache.miss").Value()
+	if total := p.CacheHits + p.CacheMisses; total > 0 {
+		p.CacheHitRate = float64(p.CacheHits) / float64(total)
+	}
+	if !started.IsZero() {
+		elapsed := obs.Since(started)
+		if !ended.IsZero() {
+			elapsed = ended.Sub(started)
+		}
+		p.ElapsedS = elapsed.Seconds()
+		if p.ElapsedS > 0 {
+			p.EvalsPerSec = float64(p.Evals) / p.ElapsedS
+		}
+		if p.State == StateRunning && p.TrialsTotal > 0 &&
+			p.TrialsDone > 0 && p.TrialsDone < p.TrialsTotal {
+			p.ETAS = p.ElapsedS / float64(p.TrialsDone) * float64(p.TrialsTotal-p.TrialsDone)
+		}
+	}
+	return p
+}
+
 // Artifact returns the named artifact's bytes.
 func (j *Job) Artifact(name string) ([]byte, bool) {
 	j.mu.Lock()
@@ -218,6 +296,7 @@ func (j *Job) finishLocked(state string, err error) bool {
 	j.state = state
 	j.err = err
 	j.cancel = nil
+	j.ended = obs.Now()
 	return true
 }
 
@@ -254,6 +333,7 @@ func (r *Runner) submit(spec JobSpec, resume *core.Checkpoint, resumedFrom strin
 		id:          fmt.Sprintf("job-%d", r.nextID),
 		spec:        spec,
 		trace:       NewTraceBuffer(),
+		reg:         obs.NewRegistry(),
 		done:        make(chan struct{}),
 		state:       StateQueued,
 		best:        math.Inf(1),
@@ -417,6 +497,7 @@ func (r *Runner) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.cancel = cancel
+	j.started = obs.Now()
 	j.mu.Unlock()
 
 	pipe, err := r.pipes.Get(j.spec.Eval)
@@ -426,10 +507,12 @@ func (r *Runner) runJob(j *Job) {
 		j.finish(StateFailed, err)
 		return
 	}
-	// The job's events go to its own buffer (for SSE subscribers) and to
-	// the server-wide sink (for /metrics counters). Tracing is
-	// observe-only, so the fan-out cannot perturb results.
-	tracer := obs.Tee(j.trace, r.cfg.Tracer)
+	// The job's events go to its own buffer (for SSE subscribers), its
+	// per-job metrics registry (for /jobs/{id}/progress and the labeled
+	// per-job gauges on /metrics), and the server-wide sink (for the
+	// aggregate counters). Tracing is observe-only, so the fan-out cannot
+	// perturb results.
+	tracer := obs.Tee(j.trace, obs.NewMetricsTracer(j.reg), r.cfg.Tracer)
 
 	switch j.spec.Kind {
 	case KindExperiment:

@@ -44,7 +44,14 @@ func RunSearch(ctx context.Context, spec JobSpec, opts SearchOptions) (core.Resu
 	}
 	cfg.Resume = opts.Resume
 	cfg.OnCheckpoint = opts.OnCheckpoint
-	return core.RunContext(ctx, cfg, strat)
+	// The job span roots the run's span tree: job → run → trial → ....
+	// Observe-only, so it opens after the config is validated enough to
+	// try and closes on every exit path.
+	jobSpan := obs.StartSpan(opts.Tracer, "job")
+	cfg.Span = jobSpan
+	res, err := core.RunContext(ctx, cfg, strat)
+	jobSpan.End()
+	return res, err
 }
 
 // FileCheckpointer persists checkpoints to one file (atomic replace, via

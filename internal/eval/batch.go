@@ -30,14 +30,27 @@ func (p *Pipeline) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Lay
 	return core.EvaluateBatch(p.outer, a, ss, l)
 }
 
+// EvaluateBatchSpan implements core.SpanBatchEvaluator by threading the
+// caller's span through the outermost layer; each span-aware layer
+// forwards it inward the same way the batch itself flows.
+func (p *Pipeline) EvaluateBatchSpan(sp *obs.Span, a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	return core.EvaluateBatchSpan(p.outer, sp, a, ss, l)
+}
+
 // EvaluateBatch implements core.BatchEvaluator for the stats layer: one
 // latency sample covering the whole batch, per-item outcome counting,
 // and len(ss) evals. Counters are tallied locally and published with
 // one atomic add per counter, so a batch costs four atomic operations
 // instead of 4×len(ss).
 func (st *Stats) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	return st.EvaluateBatchSpan(nil, a, ss, l)
+}
+
+// EvaluateBatchSpan implements core.SpanBatchEvaluator; like the
+// sequential path, the span is forwarded inward untouched.
+func (st *Stats) EvaluateBatchSpan(sp *obs.Span, a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
 	start := obs.Now()
-	costs, errs := core.EvaluateBatch(st.inner, a, ss, l)
+	costs, errs := core.EvaluateBatchSpan(st.inner, sp, a, ss, l)
 	st.latencyNS.Add(int64(obs.Since(start)))
 	st.evals.Add(int64(len(ss)))
 	var ok, invalid, failed int64
@@ -70,17 +83,24 @@ func (st *Stats) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer
 // duration. tracestat reports the two together: per-item outcomes keep
 // their taxonomy, eval.batch carries the amortization signal.
 func (t *Trace) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
-	if !obs.Enabled(t.tr) {
+	return t.EvaluateBatchSpan(nil, a, ss, l)
+}
+
+// EvaluateBatchSpan implements core.SpanBatchEvaluator: the per-item
+// eval.done events and the closing eval.batch event carry the backend
+// scope and are parented under sp when one is supplied.
+func (t *Trace) EvaluateBatchSpan(sp *obs.Span, a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	if !obs.Active(sp, t.tr) {
 		return core.EvaluateBatch(t.inner, a, ss, l)
 	}
 	start := obs.Now()
-	costs, errs := core.EvaluateBatch(t.inner, a, ss, l)
+	costs, errs := core.EvaluateBatchSpan(t.inner, sp, a, ss, l)
 	dur := obs.MS(obs.Since(start))
 	for i := range errs {
-		t.tr.Emit(obs.Event{Type: obs.EvalDone, Detail: Outcome(errs[i])})
+		sp.EmitTo(t.tr, obs.Event{Type: obs.EvalDone, Scope: t.scope, Detail: Outcome(errs[i])})
 	}
 	if len(ss) > 0 {
-		t.tr.Emit(obs.Event{Type: obs.EvalBatch, N: len(ss), DurMS: dur})
+		sp.EmitTo(t.tr, obs.Event{Type: obs.EvalBatch, Scope: t.scope, N: len(ss), DurMS: dur})
 	}
 	return costs, errs
 }
@@ -138,6 +158,13 @@ func (b *batchScratch) reset(n int) {
 // where strict sequencing would count a plain hit, because the
 // duplicate genuinely waited on the in-flight leader.
 func (c *Cache) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	return c.EvaluateBatchSpan(nil, a, ss, l)
+}
+
+// EvaluateBatchSpan implements core.SpanBatchEvaluator with the exact
+// partitioning above; the span parents every cache event this batch
+// emits and rides inward on the one miss-set call.
+func (c *Cache) EvaluateBatchSpan(sp *obs.Span, a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
 	costs := make([]maestro.Cost, len(ss))
 	errs := make([]error, len(ss))
 	if len(ss) == 0 {
@@ -188,13 +215,13 @@ func (c *Cache) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer)
 						delete(shard.m, sc.keys[i])
 						shard.mu.Unlock()
 						close(sc.ents[i].done)
-						if obs.Enabled(c.tr) {
-							c.tr.Emit(obs.Event{Type: obs.CachePanic})
+						if obs.Active(sp, c.tr) {
+							sp.EmitTo(c.tr, obs.Event{Type: obs.CachePanic})
 						}
 					}
 				}
 			}()
-			cs, es := core.EvaluateBatch(c.inner, a, sc.missSS, l)
+			cs, es := core.EvaluateBatchSpan(c.inner, sp, a, sc.missSS, l)
 			finished = true
 			return cs, es
 		}()
@@ -213,8 +240,8 @@ func (c *Cache) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer)
 				shard.mu.Unlock()
 			}
 			c.misses.Add(1)
-			if obs.Enabled(c.tr) {
-				c.tr.Emit(obs.Event{Type: obs.CacheMiss})
+			if obs.Active(sp, c.tr) {
+				sp.EmitTo(c.tr, obs.Event{Type: obs.CacheMiss})
 			}
 			close(e.done)
 			costs[i], errs[i] = e.cost, e.err
@@ -236,13 +263,13 @@ func (c *Cache) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer)
 		}
 		if e.keep {
 			c.hits.Add(1)
-			if obs.Enabled(c.tr) {
-				c.tr.Emit(obs.Event{Type: obs.CacheHit})
+			if obs.Active(sp, c.tr) {
+				sp.EmitTo(c.tr, obs.Event{Type: obs.CacheHit})
 			}
 			costs[i], errs[i] = e.cost, e.err
 			continue
 		}
-		costs[i], errs[i] = c.Evaluate(a, ss[i], l)
+		costs[i], errs[i] = c.evaluateSpan(sp, a, ss[i], l)
 	}
 	return costs, errs
 }

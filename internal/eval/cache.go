@@ -150,6 +150,18 @@ func (c *Cache) Name() string { return c.inner.Name() }
 // Evaluate implements core.Evaluator with memoization and single-flight
 // deduplication.
 func (c *Cache) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	return c.evaluateSpan(nil, a, s, l)
+}
+
+// EvaluateSpan implements core.SpanEvaluator: identical memoization, but
+// the cache.hit/miss/leaderpanic events this call emits are parented
+// under sp and delivered to sp's sink — so on a shared pipeline each job
+// sees only its own cache traffic.
+func (c *Cache) EvaluateSpan(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	return c.evaluateSpan(sp, a, s, l)
+}
+
+func (c *Cache) evaluateSpan(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	key := CanonicalKey(a, s, l)
 	shard := &c.shards[Fingerprint(key)&(cacheShards-1)]
 	for {
@@ -168,8 +180,8 @@ func (c *Cache) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestr
 			}
 			if e.keep {
 				c.hits.Add(1)
-				if obs.Enabled(c.tr) {
-					c.tr.Emit(obs.Event{Type: obs.CacheHit})
+				if obs.Active(sp, c.tr) {
+					sp.EmitTo(c.tr, obs.Event{Type: obs.CacheHit})
 				}
 				return e.cost, e.err
 			}
@@ -181,7 +193,7 @@ func (c *Cache) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestr
 		e := &cacheEntry{done: make(chan struct{})}
 		shard.m[key] = e
 		shard.mu.Unlock()
-		return c.lead(shard, key, e, a, s, l)
+		return c.lead(sp, shard, key, e, a, s, l)
 	}
 }
 
@@ -189,7 +201,7 @@ func (c *Cache) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestr
 // If the evaluation panics (no guard below the cache), the entry is
 // withdrawn before the panic propagates so waiting followers retry
 // instead of blocking forever.
-func (c *Cache) lead(shard *cacheShard, key Key, e *cacheEntry,
+func (c *Cache) lead(sp *obs.Span, shard *cacheShard, key Key, e *cacheEntry,
 	a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 
 	finished := false
@@ -199,12 +211,12 @@ func (c *Cache) lead(shard *cacheShard, key Key, e *cacheEntry,
 			delete(shard.m, key)
 			shard.mu.Unlock()
 			close(e.done)
-			if obs.Enabled(c.tr) {
-				c.tr.Emit(obs.Event{Type: obs.CachePanic})
+			if obs.Active(sp, c.tr) {
+				sp.EmitTo(c.tr, obs.Event{Type: obs.CachePanic})
 			}
 		}
 	}()
-	cost, err := c.inner.Evaluate(a, s, l)
+	cost, err := core.EvaluateSpan(c.inner, sp, a, s, l)
 	finished = true
 
 	e.cost, e.err = cost, err
@@ -217,8 +229,8 @@ func (c *Cache) lead(shard *cacheShard, key Key, e *cacheEntry,
 		shard.mu.Unlock()
 	}
 	c.misses.Add(1)
-	if obs.Enabled(c.tr) {
-		c.tr.Emit(obs.Event{Type: obs.CacheMiss})
+	if obs.Active(sp, c.tr) {
+		sp.EmitTo(c.tr, obs.Event{Type: obs.CacheMiss})
 	}
 	close(e.done)
 	return cost, err

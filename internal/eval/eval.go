@@ -37,6 +37,7 @@ import (
 	"spotlight/internal/core"
 	"spotlight/internal/hw"
 	"spotlight/internal/maestro"
+	"spotlight/internal/obs"
 	"spotlight/internal/sched"
 	"spotlight/internal/sim"
 	"spotlight/internal/workload"
@@ -157,6 +158,15 @@ func Chain(backend core.Evaluator, mw ...Middleware) *Pipeline {
 // Evaluate implements core.Evaluator.
 func (p *Pipeline) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	return p.outer.Evaluate(a, s, l)
+}
+
+// EvaluateSpan implements core.SpanEvaluator, handing the caller's span
+// to the outermost layer. Layers that understand spans thread them
+// inward; the first one that does not silently drops the span and the
+// rest of the chain behaves exactly as an un-spanned call — results are
+// identical either way.
+func (p *Pipeline) EvaluateSpan(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	return core.EvaluateSpan(p.outer, sp, a, s, l)
 }
 
 // Name implements core.Evaluator. Trajectory-neutral layers (cache,

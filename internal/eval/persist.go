@@ -242,25 +242,31 @@ func (d *Disk) Sync() {
 
 // Evaluate implements core.Evaluator.
 func (d *Disk) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	return d.EvaluateSpan(nil, a, s, l)
+}
+
+// EvaluateSpan implements core.SpanEvaluator: the hit/append persistence
+// events are parented under sp (when given) and follow its sink.
+func (d *Disk) EvaluateSpan(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	if d.store == nil {
-		return d.inner.Evaluate(a, s, l)
+		return core.EvaluateSpan(d.inner, sp, a, s, l)
 	}
 	key := diskcache.Key(RecordKey(d.backend, d.fingerprint, CanonicalKey(a, s, l)))
 	if val, ok := d.store.Get(key); ok {
 		if cost, verdict, ok := decodeResult(val); ok {
-			if obs.Enabled(d.tr) {
-				d.tr.Emit(obs.Event{Type: obs.CachePersist, Detail: "hit"})
+			if obs.Active(sp, d.tr) {
+				sp.EmitTo(d.tr, obs.Event{Type: obs.CachePersist, Detail: "hit"})
 			}
 			return cost, verdict
 		}
 		// Undecodable entry: fall through, recompute, and re-Put below —
 		// the repair path for corrupt-but-framed records.
 	}
-	cost, err := d.inner.Evaluate(a, s, l)
+	cost, err := core.EvaluateSpan(d.inner, sp, a, s, l)
 	if val := encodeResult(cost, err); val != nil {
 		d.store.Put(key, val)
-		if obs.Enabled(d.tr) {
-			d.tr.Emit(obs.Event{Type: obs.CachePersist, Detail: "append"})
+		if obs.Active(sp, d.tr) {
+			sp.EmitTo(d.tr, obs.Event{Type: obs.CachePersist, Detail: "append"})
 		}
 	}
 	return cost, err
@@ -271,8 +277,14 @@ func (d *Disk) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro
 // call (preserving the batch fast path), each persistable result
 // appended as it is published.
 func (d *Disk) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
+	return d.EvaluateBatchSpan(nil, a, ss, l)
+}
+
+// EvaluateBatchSpan implements core.SpanBatchEvaluator with the same
+// hit/miss partitioning; the span rides inward on the one miss-set call.
+func (d *Disk) EvaluateBatchSpan(sp *obs.Span, a hw.Accel, ss []sched.Schedule, l workload.Layer) ([]maestro.Cost, []error) {
 	if d.store == nil {
-		return core.EvaluateBatch(d.inner, a, ss, l)
+		return core.EvaluateBatchSpan(d.inner, sp, a, ss, l)
 	}
 	costs := make([]maestro.Cost, len(ss))
 	errs := make([]error, len(ss))
@@ -283,8 +295,8 @@ func (d *Disk) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) 
 		keys[i] = diskcache.Key(RecordKey(d.backend, d.fingerprint, CanonicalKey(a, ss[i], l)))
 		if val, ok := d.store.Get(keys[i]); ok {
 			if cost, verdict, ok := decodeResult(val); ok {
-				if obs.Enabled(d.tr) {
-					d.tr.Emit(obs.Event{Type: obs.CachePersist, Detail: "hit"})
+				if obs.Active(sp, d.tr) {
+					sp.EmitTo(d.tr, obs.Event{Type: obs.CachePersist, Detail: "hit"})
 				}
 				costs[i], errs[i] = cost, verdict
 				continue
@@ -296,13 +308,13 @@ func (d *Disk) EvaluateBatch(a hw.Accel, ss []sched.Schedule, l workload.Layer) 
 	if len(missIdx) == 0 {
 		return costs, errs
 	}
-	missCosts, missErrs := core.EvaluateBatch(d.inner, a, missSS, l)
+	missCosts, missErrs := core.EvaluateBatchSpan(d.inner, sp, a, missSS, l)
 	for j, i := range missIdx {
 		costs[i], errs[i] = missCosts[j], missErrs[j]
 		if val := encodeResult(costs[i], errs[i]); val != nil {
 			d.store.Put(keys[i], val)
-			if obs.Enabled(d.tr) {
-				d.tr.Emit(obs.Event{Type: obs.CachePersist, Detail: "append"})
+			if obs.Active(sp, d.tr) {
+				sp.EmitTo(d.tr, obs.Event{Type: obs.CachePersist, Detail: "append"})
 			}
 		}
 	}

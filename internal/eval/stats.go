@@ -59,8 +59,15 @@ func (st *Stats) Name() string { return st.inner.Name() }
 // into the search, and the wall-clock read goes through obs — the one
 // package sanctioned to touch the clock.
 func (st *Stats) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	return st.EvaluateSpan(nil, a, s, l)
+}
+
+// EvaluateSpan implements core.SpanEvaluator. Stats itself emits no
+// events on the evaluate path — it only counts — so the span is purely
+// forwarded inward for the trace layer and backend to attribute.
+func (st *Stats) EvaluateSpan(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	start := obs.Now()
-	cost, err := st.inner.Evaluate(a, s, l)
+	cost, err := core.EvaluateSpan(st.inner, sp, a, s, l)
 	st.latencyNS.Add(int64(obs.Since(start)))
 	st.evals.Add(1)
 	switch Outcome(err) {

@@ -41,13 +41,17 @@ func Outcome(err error) string {
 type Trace struct {
 	inner core.Evaluator
 	tr    obs.Tracer
+	scope string // the wrapped evaluator's name, carried as Event.Scope
 }
 
 // WithTrace returns the trace middleware. A nil (or disabled) tracer
-// makes the layer a pure pass-through with one branch of overhead.
+// makes the layer a pure pass-through with one branch of overhead. The
+// inner evaluator's name at construction time is stamped on every
+// eval.done/eval.batch event as its Scope, which is what lets tracestat
+// attribute evaluation time per backend.
 func WithTrace(tr obs.Tracer) Middleware {
 	return func(inner core.Evaluator) core.Evaluator {
-		return &Trace{inner: inner, tr: tr}
+		return &Trace{inner: inner, tr: tr, scope: inner.Name()}
 	}
 }
 
@@ -57,13 +61,21 @@ func (t *Trace) Name() string { return t.inner.Name() }
 
 // Evaluate implements core.Evaluator.
 func (t *Trace) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
-	if !obs.Enabled(t.tr) {
+	return t.EvaluateSpan(nil, a, s, l)
+}
+
+// EvaluateSpan implements core.SpanEvaluator: the eval.done event is
+// parented under sp and follows sp's sink, so each spotlightd job sees
+// its own evaluations even though the pipeline is shared.
+func (t *Trace) EvaluateSpan(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	if !obs.Active(sp, t.tr) {
 		return t.inner.Evaluate(a, s, l)
 	}
 	start := obs.Now()
-	cost, err := t.inner.Evaluate(a, s, l)
-	t.tr.Emit(obs.Event{
+	cost, err := core.EvaluateSpan(t.inner, sp, a, s, l)
+	sp.EmitTo(t.tr, obs.Event{
 		Type:   obs.EvalDone,
+		Scope:  t.scope,
 		DurMS:  obs.MS(obs.Since(start)),
 		Detail: Outcome(err),
 	})

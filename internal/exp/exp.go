@@ -62,6 +62,10 @@ type Config struct {
 	// built from EvalSpec. Tracing is observe-only: every CSV is
 	// byte-identical with it on or off.
 	Tracer obs.Tracer
+	// Span, when set, parents every run this config drives: each
+	// core.RunContext opens its "run" span as a child of Span (the
+	// engine's per-step exp.step span). Observe-only, like Tracer.
+	Span *obs.Span
 	// DisableBatch forces the per-layer searches onto the sequential
 	// one-candidate-at-a-time path (core.RunConfig.DisableBatch). Results
 	// are bit-identical either way; the switch exists to verify that
@@ -164,6 +168,7 @@ func (c Config) runConfig(models []workload.Model, trial int) (core.RunConfig, e
 		Eval:         c.Eval,
 		Workers:      c.Workers,
 		Tracer:       c.Tracer,
+		Span:         c.Span,
 		DisableBatch: c.DisableBatch,
 	}, nil
 }

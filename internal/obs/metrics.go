@@ -21,6 +21,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	hookMu      sync.Mutex
+	hooks       []func()
+	runtimeOnce sync.Once
 }
 
 // NewRegistry returns an empty registry.
@@ -184,21 +188,24 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot returns the histogram's current totals and non-empty buckets
-// in ascending bound order.
+// in ascending bound order. Buckets are read before the totals: Observe
+// bumps count before its bucket, so this order guarantees the bucket sum
+// never exceeds the count even while observers race the snapshot —
+// which is what keeps the Prometheus rendering's cumulative-bucket /
+// +Inf invariant intact under concurrent load.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count: h.count.Load(),
-		SumMS: MS(time.Duration(h.sumNS.Load())),
-		MaxMS: MS(time.Duration(h.maxNS.Load())),
-	}
-	if s.Count > 0 {
-		s.MinMS = MS(time.Duration(h.minNS.Load()))
-		s.AvgMS = s.SumMS / float64(s.Count)
-	}
+	var s HistogramSnapshot
 	for i := 0; i < histBuckets; i++ {
 		if n := h.buckets[i].Load(); n > 0 {
 			s.Buckets = append(s.Buckets, BucketCount{UpperUS: 1 << i, Count: n})
 		}
+	}
+	s.Count = h.count.Load()
+	s.SumMS = MS(time.Duration(h.sumNS.Load()))
+	s.MaxMS = MS(time.Duration(h.maxNS.Load()))
+	if s.Count > 0 {
+		s.MinMS = MS(time.Duration(h.minNS.Load()))
+		s.AvgMS = s.SumMS / float64(s.Count)
 	}
 	return s
 }
@@ -238,11 +245,45 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	return s
 }
 
+// OnScrape registers a hook run by Scrape before the snapshot is taken:
+// the pull-model complement to MetricsTracer's push. Hooks refresh
+// gauges whose source of truth lives elsewhere — the runtime collector,
+// spotlightd's per-job progress rollup — exactly when a scraper asks,
+// with no background sampler to leak. Hooks run unlocked and may
+// therefore use the full registry API; they must be safe for concurrent
+// scrapes.
+func (r *Registry) OnScrape(fn func()) {
+	if fn == nil {
+		return
+	}
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+// Scrape runs the OnScrape hooks, then snapshots: the read path behind
+// /metrics in both exposition formats.
+func (r *Registry) Scrape() RegistrySnapshot {
+	r.hookMu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	return r.Snapshot()
+}
+
 // WriteJSON writes the snapshot as indented JSON (the /metrics body).
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return WriteJSONSnapshot(w, r.Snapshot())
+}
+
+// WriteJSONSnapshot writes an already-taken snapshot as indented JSON.
+func WriteJSONSnapshot(w io.Writer, s RegistrySnapshot) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(s)
 }
 
 // MetricsTracer folds trace events into a registry: every event bumps a
@@ -262,9 +303,18 @@ func (m *MetricsTracer) Enabled() bool { return true }
 func (m *MetricsTracer) Emit(e Event) {
 	m.reg.Counter("trace." + string(e.Type)).Add(1)
 	if e.DurMS > 0 {
-		m.reg.Histogram("dur." + string(e.Type)).ObserveMS(e.DurMS)
+		name := "dur." + string(e.Type)
+		if e.Type == SpanEnd && e.Detail != "" {
+			// Span durations histogram per span kind — dur.span.trial,
+			// dur.span.sw.layer — which is what the /jobs/{id}/progress
+			// and critical-path views aggregate.
+			name = "dur.span." + e.Detail
+		}
+		m.reg.Histogram(name).ObserveMS(e.DurMS)
 	}
 	switch e.Type {
+	case RunStart:
+		m.reg.Gauge("search.budget").Set(float64(e.N))
 	case HWPropose:
 		m.reg.Gauge("search.sample").Set(float64(e.Sample))
 	case Incumbent:

@@ -73,6 +73,12 @@ const (
 	CachePersist EventType = "cache.persist"     // Detail: hit|append|recovered|readonly|invalidated|degraded; N: record count where relevant
 	GuardRetry   EventType = "guard.retry"       // N: attempt; Detail: fault class
 	GuardTimeout EventType = "guard.timeout"     // DurMS: configured bound; Detail: bound string
+
+	// Causal spans (any layer, via the Span API). Span carries the span's
+	// id; Parent the enclosing span (0 for a root). Every *other* event
+	// type may carry Parent — the span it happened under — but never Span.
+	SpanStart EventType = "span.start" // Span; Parent; Detail: span kind; Sample/Layer: optional labels
+	SpanEnd   EventType = "span.end"   // Span; Parent; Detail: span kind; DurMS: span duration
 )
 
 // eventRule is the schema of one event type: which otherwise-optional
@@ -80,6 +86,7 @@ const (
 // task index of 0, a sub-millisecond duration) are never required.
 type eventRule struct {
 	sample, layer, scope, detail, value, n bool
+	span                                   bool // the Span field is required (and only legal) here
 }
 
 // schema is the closed event taxonomy. Adding an event type means adding
@@ -108,6 +115,8 @@ var schema = map[EventType]eventRule{
 	CachePersist:   {detail: true},
 	GuardRetry:     {detail: true},
 	GuardTimeout:   {detail: true},
+	SpanStart:      {detail: true, span: true},
+	SpanEnd:        {detail: true, span: true},
 }
 
 // EventTypes returns every known event type, sorted, for documentation
@@ -146,6 +155,8 @@ type Event struct {
 	DurMS  float64   `json:"dur_ms,omitempty"` // measured duration, milliseconds
 	Value  float64   `json:"value,omitempty"`  // objective or auxiliary numeric
 	N      int       `json:"n,omitempty"`      // count or index
+	Span   int64     `json:"span,omitempty"`   // span id (span.start/span.end only)
+	Parent int64     `json:"parent,omitempty"` // enclosing span id; 0 = unparented/root
 }
 
 // Validate checks an event against the schema: the type must be known,
@@ -170,6 +181,16 @@ func (e Event) Validate() error {
 	}
 	if e.TMS < 0 || e.DurMS < 0 {
 		return fmt.Errorf("obs: %s event has negative timestamp or duration", e.Type)
+	}
+	if e.Span < 0 || e.Parent < 0 {
+		return fmt.Errorf("obs: %s event has negative span or parent id", e.Type)
+	}
+	if rule.span {
+		if e.Span == 0 {
+			return fmt.Errorf("obs: %s event missing span id", e.Type)
+		}
+	} else if e.Span != 0 {
+		return fmt.Errorf("obs: %s event carries a span id (reserved for span.start/span.end)", e.Type)
 	}
 	switch {
 	case rule.sample && e.Sample <= 0:

@@ -134,6 +134,9 @@ func TestEventTypesCoverSchema(t *testing.T) {
 	for _, typ := range ts {
 		ev := Event{Seq: 1, Type: typ, Sample: 1, Layer: "m/l", Scope: "hw",
 			Detail: "x", Value: 1, N: 1}
+		if schema[typ].span {
+			ev.Span, ev.Parent = 2, 1
+		}
 		if err := ev.Validate(); err != nil {
 			t.Errorf("fully populated %s event invalid: %v", typ, err)
 		}

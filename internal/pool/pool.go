@@ -135,15 +135,25 @@ func RunCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 // thread their tracer through unconditionally. Tracing is observe-only:
 // it never changes which indices run or what fn observes.
 func RunCtxTraced(ctx context.Context, n, workers int, tr obs.Tracer, fn func(i int)) error {
-	if !obs.Enabled(tr) {
+	return RunCtxSpan(ctx, n, workers, tr, nil, fn)
+}
+
+// RunCtxSpan is RunCtxTraced with causal attribution: when sp is
+// non-nil, the pool events carry Parent = sp's id and are routed to the
+// span's sink (in core, sp is the enclosing trial span). The span
+// merely parents the events — the pool never opens sub-spans of its
+// own, since the interesting nested spans (sw.layer) are fn's to make.
+// With a nil span and a nil or disabled tracer it is exactly RunCtx.
+func RunCtxSpan(ctx context.Context, n, workers int, tr obs.Tracer, sp *obs.Span, fn func(i int)) error {
+	if !obs.Active(sp, tr) {
 		return RunCtx(ctx, n, workers, fn)
 	}
-	tr.Emit(obs.Event{Type: obs.PoolQueue, N: n})
+	sp.EmitTo(tr, obs.Event{Type: obs.PoolQueue, N: n})
 	return RunCtx(ctx, n, workers, func(i int) {
-		tr.Emit(obs.Event{Type: obs.PoolStart, N: i})
+		sp.EmitTo(tr, obs.Event{Type: obs.PoolStart, N: i})
 		start := obs.Now()
 		fn(i)
-		tr.Emit(obs.Event{Type: obs.PoolDone, N: i, DurMS: obs.MS(obs.Since(start))})
+		sp.EmitTo(tr, obs.Event{Type: obs.PoolDone, N: i, DurMS: obs.MS(obs.Since(start))})
 	})
 }
 

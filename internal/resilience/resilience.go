@@ -91,19 +91,35 @@ type Guard struct {
 // Name implements Evaluator.
 func (g *Guard) Name() string { return "guard(" + g.Eval.Name() + ")" }
 
+// spanEvaluator is the span-threading fast path of the evaluator
+// contract, declared structurally (like Evaluator above) so resilience
+// stays below core in the import graph; it matches
+// core.SpanEvaluator's method exactly.
+type spanEvaluator interface {
+	EvaluateSpan(*obs.Span, hw.Accel, sched.Schedule, workload.Layer) (maestro.Cost, error)
+}
+
 // Evaluate implements Evaluator with the guard policy applied.
 func (g *Guard) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+	return g.EvaluateSpan(nil, a, s, l)
+}
+
+// EvaluateSpan applies the same guard policy while threading the
+// caller's span inward (when the wrapped evaluator understands spans)
+// and parenting the guard's own retry/timeout events under it. With a
+// nil span it is exactly Evaluate.
+func (g *Guard) EvaluateSpan(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	transient := g.IsTransient
 	if transient == nil {
 		transient = func(err error) bool { return errors.Is(err, ErrTransient) }
 	}
 	for attempt := 0; ; attempt++ {
-		cost, err := g.attempt(a, s, l)
+		cost, err := g.attempt(sp, a, s, l)
 		if err == nil || attempt >= g.Retries || !transient(err) {
 			return cost, err
 		}
-		if obs.Enabled(g.Tracer) {
-			g.Tracer.Emit(obs.Event{Type: obs.GuardRetry, N: attempt + 1, Detail: err.Error()})
+		if obs.Active(sp, g.Tracer) {
+			sp.EmitTo(g.Tracer, obs.Event{Type: obs.GuardRetry, N: attempt + 1, Detail: err.Error()})
 		}
 		g.backoff(a, s, l, attempt)
 	}
@@ -111,9 +127,9 @@ func (g *Guard) Evaluate(a hw.Accel, s sched.Schedule, l workload.Layer) (maestr
 
 // attempt makes one guarded call: panic-recovered, and raced against the
 // timeout when one is configured.
-func (g *Guard) attempt(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
+func (g *Guard) attempt(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (maestro.Cost, error) {
 	if g.Timeout <= 0 {
-		return g.safeCall(a, s, l)
+		return g.safeCall(sp, a, s, l)
 	}
 	type outcome struct {
 		cost maestro.Cost
@@ -121,7 +137,7 @@ func (g *Guard) attempt(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro
 	}
 	ch := make(chan outcome, 1) // buffered: a late finisher must not block forever
 	go func() {
-		c, err := g.safeCall(a, s, l)
+		c, err := g.safeCall(sp, a, s, l)
 		ch <- outcome{c, err}
 	}()
 	timer := time.NewTimer(g.Timeout)
@@ -130,8 +146,8 @@ func (g *Guard) attempt(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro
 	case o := <-ch:
 		return o.cost, o.err
 	case <-timer.C:
-		if obs.Enabled(g.Tracer) {
-			g.Tracer.Emit(obs.Event{Type: obs.GuardTimeout,
+		if obs.Active(sp, g.Tracer) {
+			sp.EmitTo(g.Tracer, obs.Event{Type: obs.GuardTimeout,
 				DurMS: obs.MS(g.Timeout), Detail: g.Timeout.String()})
 		}
 		return maestro.Cost{}, fmt.Errorf("resilience: evaluation exceeded %v: %w", g.Timeout, ErrTimeout)
@@ -140,13 +156,18 @@ func (g *Guard) attempt(a hw.Accel, s sched.Schedule, l workload.Layer) (maestro
 
 // safeCall invokes the wrapped evaluator, converting a panic into an
 // error wrapping ErrPanic.
-func (g *Guard) safeCall(a hw.Accel, s sched.Schedule, l workload.Layer) (cost maestro.Cost, err error) {
+func (g *Guard) safeCall(sp *obs.Span, a hw.Accel, s sched.Schedule, l workload.Layer) (cost maestro.Cost, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			cost = maestro.Cost{}
 			err = fmt.Errorf("%w: %v", ErrPanic, r)
 		}
 	}()
+	if sp != nil {
+		if se, ok := g.Eval.(spanEvaluator); ok {
+			return se.EvaluateSpan(sp, a, s, l)
+		}
+	}
 	return g.Eval.Evaluate(a, s, l)
 }
 

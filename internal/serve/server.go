@@ -13,6 +13,8 @@
 //	POST /jobs/{id}/resume           continue a terminal search job from
 //	                                 its retained checkpoint
 //	GET  /jobs/{id}/trace            SSE stream of the job's trace events
+//	GET  /jobs/{id}/progress         live progress: incumbent, trials,
+//	                                 eval throughput, cache-hit rate, ETA
 //	GET  /jobs/{id}/artifacts/{name} one artifact's bytes (e.g. fig6.csv)
 //	GET  /healthz                    liveness
 //	GET  /metrics, /debug/pprof/*    the PR 5 introspection endpoints
@@ -51,14 +53,41 @@ func New(runner *engine.Runner, reg *obs.Registry) *Server {
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
 	s.mux.HandleFunc("POST /jobs/{id}/resume", s.resume)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.trace)
+	s.mux.HandleFunc("GET /jobs/{id}/progress", s.progress)
 	s.mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.artifact)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	if reg != nil {
+		// Roll every job's progress into labeled per-job gauges on each
+		// /metrics scrape. The hook reads only per-job snapshots (no
+		// runner or registry locks are held across it), so a scrape can
+		// never stall a running search.
+		reg.OnScrape(func() { rollupJobGauges(runner, reg) })
 		obs.Mount(s.mux, reg)
 	}
 	return s
+}
+
+// rollupJobGauges publishes each job's progress as labeled gauges
+// (job.trials.done{job="job-1"}, ...). Gauges are created on first
+// scrape after the job appears and simply stop moving once it ends.
+func rollupJobGauges(runner *engine.Runner, reg *obs.Registry) {
+	for _, j := range runner.Jobs() {
+		p := j.Progress()
+		label := []string{"job", p.ID}
+		reg.Gauge(obs.Labeled("job.trials.done", label...)).Set(float64(p.TrialsDone))
+		if p.TrialsTotal > 0 {
+			reg.Gauge(obs.Labeled("job.trials.total", label...)).Set(float64(p.TrialsTotal))
+		}
+		reg.Gauge(obs.Labeled("job.evals", label...)).Set(float64(p.Evals))
+		reg.Gauge(obs.Labeled("job.evals.per.sec", label...)).Set(p.EvalsPerSec)
+		reg.Gauge(obs.Labeled("job.cache.hit.rate", label...)).Set(p.CacheHitRate)
+		reg.Gauge(obs.Labeled("job.elapsed.seconds", label...)).Set(p.ElapsedS)
+		if p.BestObjective != nil {
+			reg.Gauge(obs.Labeled("job.best.objective", label...)).Set(*p.BestObjective)
+		}
+	}
 }
 
 // Handler returns the root handler.
@@ -209,6 +238,17 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// progress serves the job's live progress snapshot: incumbent so far,
+// trials done/total, evaluation throughput, cache-hit rate, and ETA.
+func (s *Server) progress(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.runner.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, engine.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Progress())
 }
 
 func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {

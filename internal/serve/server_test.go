@@ -324,8 +324,20 @@ func TestShutdownLeavesNoGoroutines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := submitAndWait(t, s, simcheckBody); st.State != engine.StateDone {
+	st := submitAndWait(t, s, simcheckBody)
+	if st.State != engine.StateDone {
 		t.Fatalf("job state = %s (%s), want done", st.State, st.Error)
+	}
+	// Exercise every scrape path before shutdown: the runtime collector
+	// and the per-job rollup are pure OnScrape hooks, and the progress
+	// endpoint reads only snapshots — none of them may start anything
+	// that would survive the joins below.
+	for _, path := range []string{
+		"/metrics", "/metrics?format=prometheus", "/jobs/" + st.ID + "/progress",
+	} {
+		if rec := do(t, s, "GET", path, ""); rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d\n%s", path, rec.Code, rec.Body)
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
